@@ -1,0 +1,41 @@
+// Command secureview-bench runs the reproduction experiments E1–E15 (see
+// DESIGN.md section 4 and EXPERIMENTS.md) and prints their result tables.
+//
+// Usage:
+//
+//	secureview-bench            # run everything, full parameter sweeps
+//	secureview-bench -quick     # trimmed sweeps (seconds, used in CI)
+//	secureview-bench -exp E8    # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"secureview/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "", "run a single experiment (E1..E15)")
+		quick = flag.Bool("quick", false, "trim parameter sweeps")
+	)
+	flag.Parse()
+
+	experiments := exp.Registry()
+	if *id != "" {
+		e := exp.Find(*id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "secureview-bench: unknown experiment %q\n", *id)
+			os.Exit(2)
+		}
+		experiments = []exp.Experiment{*e}
+	}
+	for _, e := range experiments {
+		fmt.Printf("# %s — %s\n\n", e.ID, e.Title)
+		for _, tab := range e.Run(*quick) {
+			fmt.Println(tab.String())
+		}
+	}
+}

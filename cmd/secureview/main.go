@@ -1,0 +1,240 @@
+// Command secureview solves workflow Secure-View instances: given a JSON
+// description of modules, requirement lists and costs, it prints the
+// minimum-cost (or approximate) set of attributes to hide and public
+// modules to privatize so that every private module stays Γ-private.
+//
+// Usage:
+//
+//	secureview -demo                      # print an example instance
+//	secureview -in instance.json          # solve (exact branch and bound)
+//	secureview -in instance.json -solver lp -variant set
+//	secureview -in instance.json -solver greedy -variant cardinality
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"secureview/internal/privacy"
+	"secureview/internal/provenance"
+	"secureview/internal/secureview"
+	"secureview/internal/spec"
+)
+
+// instance is the JSON wire format.
+type instance struct {
+	Modules []moduleSpec       `json:"modules"`
+	Costs   map[string]float64 `json:"costs"`
+}
+
+type moduleSpec struct {
+	Name          string        `json:"name"`
+	Inputs        []string      `json:"inputs"`
+	Outputs       []string      `json:"outputs"`
+	Public        bool          `json:"public,omitempty"`
+	PrivatizeCost float64       `json:"privatizeCost,omitempty"`
+	CardList      [][2]int      `json:"cardList,omitempty"`
+	SetList       [][2][]string `json:"setList,omitempty"`
+}
+
+func toProblem(in instance) *secureview.Problem {
+	p := &secureview.Problem{Costs: privacy.Costs(in.Costs)}
+	for _, m := range in.Modules {
+		spec := secureview.ModuleSpec{
+			Name: m.Name, Inputs: m.Inputs, Outputs: m.Outputs,
+			Public: m.Public, PrivatizeCost: m.PrivatizeCost,
+		}
+		for _, c := range m.CardList {
+			spec.CardList = append(spec.CardList, secureview.CardReq{Alpha: c[0], Beta: c[1]})
+		}
+		for _, s := range m.SetList {
+			spec.SetList = append(spec.SetList, secureview.SetReq{In: s[0], Out: s[1]})
+		}
+		p.Modules = append(p.Modules, spec)
+	}
+	return p
+}
+
+func demo() instance {
+	return instance{
+		Modules: []moduleSpec{
+			{
+				Name: "align", Inputs: []string{"reads"}, Outputs: []string{"bam"},
+				SetList:  [][2][]string{{{"reads"}, nil}, {nil, {"bam"}}},
+				CardList: [][2]int{{1, 0}, {0, 1}},
+			},
+			{
+				Name: "call", Inputs: []string{"bam"}, Outputs: []string{"variants"},
+				SetList:  [][2][]string{{{"bam"}, nil}, {nil, {"variants"}}},
+				CardList: [][2]int{{1, 0}, {0, 1}},
+			},
+			{
+				Name: "format", Inputs: []string{"variants"}, Outputs: []string{"report"},
+				Public: true, PrivatizeCost: 2,
+			},
+		},
+		Costs: map[string]float64{"reads": 3, "bam": 1, "variants": 2, "report": 4},
+	}
+}
+
+func main() {
+	var (
+		inPath   = flag.String("in", "", "instance JSON file (- for stdin)")
+		wfPath   = flag.String("wf", "", "workflow spec JSON file (see internal/spec); derives and solves")
+		solver   = flag.String("solver", "exact", "exact | greedy | lp")
+		variant  = flag.String("variant", "set", "set | cardinality")
+		showDemo = flag.Bool("demo", false, "print an example instance and exit")
+		seed     = flag.Int64("seed", 1, "randomized-rounding seed (cardinality lp)")
+	)
+	flag.Parse()
+
+	if *showDemo {
+		raw, _ := json.MarshalIndent(demo(), "", "  ")
+		fmt.Println(string(raw))
+		return
+	}
+	if *wfPath != "" {
+		runWorkflowMode(*wfPath, *solver)
+		return
+	}
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "secureview: -in or -wf required (or -demo)")
+		os.Exit(2)
+	}
+	var raw []byte
+	var err error
+	if *inPath == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*inPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var in instance
+	if err := json.Unmarshal(raw, &in); err != nil {
+		fatal(fmt.Errorf("parsing instance: %w", err))
+	}
+	p := toProblem(in)
+
+	var v secureview.Variant
+	switch *variant {
+	case "set":
+		v = secureview.Set
+	case "cardinality":
+		v = secureview.Cardinality
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+	if err := p.Validate(v); err != nil {
+		fatal(err)
+	}
+
+	var sol secureview.Solution
+	var lpVal float64
+	switch *solver {
+	case "exact":
+		if v == secureview.Set {
+			sol, err = secureview.ExactSet(p, 1<<24)
+		} else {
+			sol, err = secureview.ExactCard(p, 22)
+		}
+	case "greedy":
+		sol = secureview.Greedy(p, v)
+	case "lp":
+		if v == secureview.Set {
+			sol, lpVal, err = secureview.SetLPRound(p)
+		} else {
+			sol, lpVal, err = secureview.CardinalityLPRound(p,
+				secureview.RoundingOptions{Trials: 9, Rng: rand.New(rand.NewSource(*seed))})
+		}
+	default:
+		err = fmt.Errorf("unknown solver %q", *solver)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if !p.Feasible(sol, v) {
+		fatal(fmt.Errorf("internal error: solution infeasible"))
+	}
+
+	fmt.Printf("variant:      %s\n", v)
+	fmt.Printf("solver:       %s\n", *solver)
+	fmt.Printf("γ (sharing):  %d\n", p.DataSharing())
+	fmt.Printf("ℓmax:         %d\n", p.LMax(v))
+	fmt.Printf("hide:         %s\n", sol.Hidden)
+	fmt.Printf("privatize:    %s\n", sol.Privatized)
+	fmt.Printf("total cost:   %.4g\n", p.Cost(sol))
+	if lpVal > 0 {
+		fmt.Printf("LP bound:     %.4g (cost/LP = %.3f)\n", lpVal, p.Cost(sol)/lpVal)
+	}
+	if e, err := secureview.Explain(p, sol, v); err == nil {
+		fmt.Printf("explanation:\n")
+		for _, line := range e.Lines {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// runWorkflowMode loads a concrete workflow spec, records all executions,
+// derives requirement lists from standalone analysis (Theorem 4/8) and
+// publishes a secure view.
+func runWorkflowMode(path, solverName string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := spec.Parse(raw)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := doc.Build()
+	if err != nil {
+		fatal(err)
+	}
+	gamma := doc.Gamma
+	if gamma == 0 {
+		gamma = 2
+	}
+	costs := privacy.Costs(doc.Costs)
+	if len(costs) == 0 {
+		costs = privacy.Uniform(w.Schema().Names()...)
+	}
+	var sv provenance.Solver
+	switch solverName {
+	case "exact":
+		sv = provenance.SolverExact
+	case "greedy":
+		sv = provenance.SolverGreedy
+	case "lp":
+		sv = provenance.SolverLP
+	default:
+		fatal(fmt.Errorf("unknown solver %q", solverName))
+	}
+	store := provenance.NewStore(w)
+	if err := store.RecordAll(1 << 20); err != nil {
+		fatal(err)
+	}
+	view, err := store.SecureView(gamma, costs, doc.PrivatizeCosts, sv)
+	if err != nil {
+		fatal(err)
+	}
+	if err := view.VerifyStandalone(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workflow:    %s (%d modules, %d executions)\n", w.Name(), len(w.Modules()), store.Size())
+	fmt.Printf("Γ:           %d\n", view.Gamma)
+	fmt.Printf("hide:        %v\n", view.HiddenSorted())
+	fmt.Printf("privatize:   %v\n", view.Privatized.Sorted())
+	fmt.Printf("cost:        %.4g\n", view.Cost)
+	fmt.Printf("published view:\n%v", view.Relation())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "secureview: %v\n", err)
+	os.Exit(1)
+}

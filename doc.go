@@ -1,0 +1,27 @@
+// Package secureview is a Go reproduction of "Provenance Views for Module
+// Privacy" (Davidson, Khanna, Milo, Panigrahi, Roy — PODS 2011): a library
+// for publishing provenance views of scientific workflows that keep the
+// input/output behaviour of proprietary modules Γ-private, together with
+// the paper's optimization algorithms, lower-bound constructions, and an
+// experiment harness reproducing every theorem, example and figure.
+//
+// Layout:
+//
+//	internal/relation    finite relations, projections, joins, FDs
+//	internal/module      modules as finite functions I → O
+//	internal/workflow    DAG wiring, execution, provenance relations
+//	internal/provenance  execution store and privacy-preserving views
+//	internal/privacy     Γ-standalone-privacy (section 3, appendix A)
+//	internal/worlds      possible-world semantics, FLIP, enumeration
+//	internal/secureview  the Secure-View optimization (sections 4–5)
+//	internal/lp          two-phase simplex (substrate)
+//	internal/sat         CNF + DPLL (substrate for Theorem 2)
+//	internal/combopt     set/vertex/label cover (reduction sources)
+//	internal/reductions  the hardness constructions as generators
+//	internal/workload    random workflow/instance generators
+//	internal/exp         experiment registry E1–E15
+//
+// Entry points: cmd/secureview (solve instances), cmd/secureview-bench
+// (reproduce the experiment tables), cmd/worlds (world counting), and the
+// runnable programs under examples/. See DESIGN.md and EXPERIMENTS.md.
+package secureview

@@ -1,0 +1,49 @@
+// Sharing: Example 5 of the paper — why per-module optimal choices do NOT
+// assemble into a good workflow solution when data is shared.
+//
+// Module m sends one item a2 to n downstream modules. Standalone, each
+// downstream module would rather hide its own cheap output; together they
+// pay n while hiding the single shared a2 (slightly more expensive) would
+// satisfy all of them at once. The gap between the greedy assembly and the
+// optimum grows linearly with n. The ℓmax LP rounding is also shown: on
+// this family ℓmax itself grows with n (the collector lists n options), so
+// its guarantee is weak here — exactly the regime Theorem 6 warns about.
+//
+// Run with: go run ./examples/sharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secureview/internal/reductions"
+	"secureview/internal/secureview"
+)
+
+func main() {
+	const eps = 0.5
+	fmt.Println("n   greedy   optimum   lp-rounded   greedy/optimum")
+	for _, n := range []int{2, 4, 8, 12} {
+		p := reductions.Example5(n, eps)
+
+		greedy := secureview.Greedy(p, secureview.Set)
+		exact, err := secureview.ExactSet(p, 1<<22)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rounded, _, err := secureview.SetLPRound(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for name, sol := range map[string]secureview.Solution{
+			"greedy": greedy, "exact": exact, "lp": rounded,
+		} {
+			if !p.Feasible(sol, secureview.Set) {
+				log.Fatalf("%s produced an infeasible solution", name)
+			}
+		}
+		gc, ec, rc := p.Cost(greedy), p.Cost(exact), p.Cost(rounded)
+		fmt.Printf("%-3d %-8.3g %-9.3g %-12.3g %.2f\n", n, gc, ec, rc, gc/ec)
+	}
+	fmt.Println("\nthe optimum always hides {a2, b0}: the shared item pays for everyone")
+}

@@ -1,0 +1,196 @@
+package combopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LabelCover is an instance of the minimum label cover problem (as used by
+// the hardness proofs of Theorems 6 and 10): a bipartite graph with left
+// vertices 0..NU-1 and right vertices 0..NW-1, a label set {0..L-1}, and a
+// non-empty relation per edge. A feasible solution assigns a label set to
+// every vertex such that each edge (u,w) has some (l1,l2) in its relation
+// with l1 assigned to u and l2 to w. The objective is the total number of
+// assigned labels.
+type LabelCover struct {
+	NU, NW int
+	L      int
+	Edges  []LCEdge
+}
+
+// LCEdge is one edge with its admissible label pairs.
+type LCEdge struct {
+	U, W int
+	Rel  [][2]int
+}
+
+// Validate checks ranges and non-emptiness of relations.
+func (lc LabelCover) Validate() error {
+	for i, e := range lc.Edges {
+		if e.U < 0 || e.U >= lc.NU || e.W < 0 || e.W >= lc.NW {
+			return fmt.Errorf("combopt: edge %d endpoints out of range", i)
+		}
+		if len(e.Rel) == 0 {
+			return fmt.Errorf("combopt: edge %d has empty relation", i)
+		}
+		for _, p := range e.Rel {
+			if p[0] < 0 || p[0] >= lc.L || p[1] < 0 || p[1] >= lc.L {
+				return fmt.Errorf("combopt: edge %d has label pair %v out of range", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps vertices to label sets; index 0..NU-1 are left vertices,
+// NU..NU+NW-1 are right vertices.
+type Assignment [][]bool
+
+// Cost returns the total number of assigned labels.
+func (a Assignment) Cost() int {
+	n := 0
+	for _, labels := range a {
+		for _, on := range labels {
+			if on {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Feasible reports whether the assignment covers every edge.
+func (lc LabelCover) Feasible(a Assignment) bool {
+	if len(a) != lc.NU+lc.NW {
+		return false
+	}
+	for _, e := range lc.Edges {
+		ok := false
+		for _, p := range e.Rel {
+			if a[e.U][p[0]] && a[lc.NU+e.W][p[1]] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyAssignment builds a feasible solution by choosing, for each edge in
+// order, the pair adding the fewest new labels. It is a heuristic upper
+// bound, not an approximation guarantee.
+func (lc LabelCover) GreedyAssignment() Assignment {
+	a := lc.emptyAssignment()
+	for _, e := range lc.Edges {
+		bestPair := e.Rel[0]
+		bestNew := math.MaxInt
+		for _, p := range e.Rel {
+			added := 0
+			if !a[e.U][p[0]] {
+				added++
+			}
+			if !a[lc.NU+e.W][p[1]] {
+				added++
+			}
+			if added < bestNew {
+				bestNew = added
+				bestPair = p
+			}
+		}
+		a[e.U][bestPair[0]] = true
+		a[lc.NU+e.W][bestPair[1]] = true
+	}
+	return a
+}
+
+// Exact finds a minimum-cost assignment by branching over the pair chosen
+// for each edge, pruning on the incumbent. Exponential; for small
+// experiment instances only.
+func (lc LabelCover) Exact() Assignment {
+	best := lc.GreedyAssignment()
+	bestCost := best.Cost()
+	a := lc.emptyAssignment()
+	cost := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if cost >= bestCost {
+			return
+		}
+		if i == len(lc.Edges) {
+			bestCost = cost
+			best = cloneAssignment(a)
+			return
+		}
+		e := lc.Edges[i]
+		for _, p := range e.Rel {
+			du := !a[e.U][p[0]]
+			dw := !a[lc.NU+e.W][p[1]]
+			if du {
+				a[e.U][p[0]] = true
+				cost++
+			}
+			if dw {
+				a[lc.NU+e.W][p[1]] = true
+				cost++
+			}
+			rec(i + 1)
+			if du {
+				a[e.U][p[0]] = false
+				cost--
+			}
+			if dw {
+				a[lc.NU+e.W][p[1]] = false
+				cost--
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+func (lc LabelCover) emptyAssignment() Assignment {
+	a := make(Assignment, lc.NU+lc.NW)
+	for i := range a {
+		a[i] = make([]bool, lc.L)
+	}
+	return a
+}
+
+func cloneAssignment(a Assignment) Assignment {
+	c := make(Assignment, len(a))
+	for i, row := range a {
+		c[i] = append([]bool(nil), row...)
+	}
+	return c
+}
+
+// RandomLabelCover draws a random instance: a bipartite graph with every
+// left vertex connected to degree random right vertices, and relations of
+// the given size per edge.
+func RandomLabelCover(nu, nw, labels, degree, relSize int, rng *rand.Rand) LabelCover {
+	lc := LabelCover{NU: nu, NW: nw, L: labels}
+	for u := 0; u < nu; u++ {
+		perm := rng.Perm(nw)
+		d := degree
+		if d > nw {
+			d = nw
+		}
+		for _, w := range perm[:d] {
+			rel := make([][2]int, 0, relSize)
+			seen := make(map[[2]int]bool)
+			for len(rel) < relSize {
+				p := [2]int{rng.Intn(labels), rng.Intn(labels)}
+				if !seen[p] {
+					seen[p] = true
+					rel = append(rel, p)
+				}
+			}
+			lc.Edges = append(lc.Edges, LCEdge{U: u, W: w, Rel: rel})
+		}
+	}
+	return lc
+}

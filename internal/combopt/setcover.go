@@ -1,0 +1,201 @@
+// Package combopt provides the combinatorial optimization problems that the
+// paper's hardness reductions start from — set cover (Theorem 5, Theorem 9),
+// vertex cover in cubic graphs (Theorem 7) and label cover (Theorem 6,
+// Theorem 10) — with exact and approximation solvers.
+//
+// The exact solvers make the reduction experiments meaningful: each lemma in
+// the paper's appendix asserts an exact cost correspondence between the
+// source instance and the constructed Secure-View instance, and the
+// experiments verify those equalities by solving both sides.
+package combopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SetCover is an instance of minimum set cover: a universe {0..N-1} and a
+// family of subsets. The goal is a minimum number of subsets whose union is
+// the universe.
+type SetCover struct {
+	N    int
+	Sets [][]int
+}
+
+// Validate checks element ranges and that a cover exists at all.
+func (sc SetCover) Validate() error {
+	covered := make([]bool, sc.N)
+	for i, s := range sc.Sets {
+		for _, e := range s {
+			if e < 0 || e >= sc.N {
+				return fmt.Errorf("combopt: set %d contains %d outside universe [0,%d)", i, e, sc.N)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("combopt: element %d not coverable", e)
+		}
+	}
+	return nil
+}
+
+// IsCover reports whether the chosen set indices cover the universe.
+func (sc SetCover) IsCover(chosen []int) bool {
+	covered := make([]bool, sc.N)
+	n := 0
+	for _, i := range chosen {
+		if i < 0 || i >= len(sc.Sets) {
+			return false
+		}
+		for _, e := range sc.Sets[i] {
+			if !covered[e] {
+				covered[e] = true
+				n++
+			}
+		}
+	}
+	return n == sc.N
+}
+
+// Greedy runs the classical ln(n)-approximation: repeatedly pick the set
+// covering the most uncovered elements. Ties break on the smaller index for
+// determinism.
+func (sc SetCover) Greedy() []int {
+	covered := make([]bool, sc.N)
+	remaining := sc.N
+	var chosen []int
+	used := make([]bool, len(sc.Sets))
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for i, s := range sc.Sets {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best == -1 {
+			return nil // uncoverable
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for _, e := range sc.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// Exact finds a minimum cover by branch and bound over elements (always
+// branching on the first uncovered element, trying each set containing it).
+// Exponential in the worst case; intended for the modest instances used in
+// experiments.
+func (sc SetCover) Exact() []int {
+	memberships := make([][]int, sc.N)
+	for i, s := range sc.Sets {
+		for _, e := range s {
+			memberships[e] = append(memberships[e], i)
+		}
+	}
+	bestLen := math.MaxInt
+	var best []int
+	greedy := sc.Greedy()
+	if greedy == nil {
+		return nil
+	}
+	bestLen = len(greedy)
+	best = append([]int(nil), greedy...)
+
+	covered := make([]int, sc.N) // coverage multiplicity
+	remaining := sc.N
+	var current []int
+	var rec func()
+	rec = func() {
+		if remaining == 0 {
+			if len(current) < bestLen {
+				bestLen = len(current)
+				best = append(best[:0:0], current...)
+			}
+			return
+		}
+		// At least one more set is needed, so any completion has size
+		// >= len(current)+1; prune if that cannot beat the incumbent.
+		if len(current)+1 >= bestLen {
+			return
+		}
+		// First uncovered element.
+		e := 0
+		for covered[e] > 0 {
+			e++
+		}
+		for _, i := range memberships[e] {
+			current = append(current, i)
+			for _, x := range sc.Sets[i] {
+				if covered[x] == 0 {
+					remaining--
+				}
+				covered[x]++
+			}
+			rec()
+			for _, x := range sc.Sets[i] {
+				covered[x]--
+				if covered[x] == 0 {
+					remaining++
+				}
+			}
+			current = current[:len(current)-1]
+		}
+	}
+	rec()
+	sort.Ints(best)
+	return best
+}
+
+// RandomSetCover draws an instance with n elements and m sets, each element
+// appearing in at least one set. Set sizes are geometric-ish around
+// density·n.
+func RandomSetCover(n, m int, density float64, rng *rand.Rand) SetCover {
+	sets := make([][]int, m)
+	for i := range sets {
+		for e := 0; e < n; e++ {
+			if rng.Float64() < density {
+				sets[i] = append(sets[i], e)
+			}
+		}
+	}
+	// Guarantee coverability: sprinkle each element into a random set.
+	for e := 0; e < n; e++ {
+		i := rng.Intn(m)
+		sets[i] = append(sets[i], e)
+	}
+	for i := range sets {
+		sets[i] = dedupeInts(sets[i])
+	}
+	return SetCover{N: n, Sets: sets}
+}
+
+func dedupeInts(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

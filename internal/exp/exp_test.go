@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "longer"}}
+	tab.Add(1, 2.5)
+	tab.Add("xx", "y")
+	tab.Note("hello %d", 7)
+	s := tab.String()
+	if !strings.Contains(s, "## demo") || !strings.Contains(s, "hello 7") {
+		t.Fatalf("rendering wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "2.5") {
+		t.Errorf("float cell missing: %s", s)
+	}
+}
+
+func TestFind(t *testing.T) {
+	if Find("E1") == nil || Find("E19") == nil {
+		t.Fatal("registry lookup failed")
+	}
+	if Find("E99") != nil {
+		t.Fatal("bogus id found")
+	}
+}
+
+// Every experiment must run in quick mode and produce at least one
+// non-empty table. This is the integration test for the whole harness.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(true)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if tab.Title == "" {
+					t.Error("table without title")
+				}
+				if len(tab.Rows) == 0 && len(tab.Notes) == 0 {
+					t.Errorf("table %q empty", tab.Title)
+				}
+				_ = tab.String()
+			}
+		})
+	}
+}
+
+// Spot-check headline numbers that the paper pins exactly.
+func TestHeadlineNumbers(t *testing.T) {
+	t.Run("E1 worlds=64", func(t *testing.T) {
+		tables := Find("E1").Run(true)
+		found := false
+		for _, tab := range tables {
+			for _, row := range tab.Rows {
+				for i, c := range row {
+					if c == "64" && i > 0 {
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			t.Error("E1 did not report the 64-world count")
+		}
+	})
+	t.Run("E7 optimum 2.5", func(t *testing.T) {
+		tables := Find("E7").Run(true)
+		for _, tab := range tables {
+			for _, row := range tab.Rows {
+				if len(row) >= 3 && row[2] != "2.5" {
+					t.Errorf("E7 optimum = %s, want 2.5", row[2])
+				}
+			}
+		}
+	})
+	t.Run("E13 equivalence", func(t *testing.T) {
+		tables := Find("E13").Run(true)
+		for _, tab := range tables {
+			for _, row := range tab.Rows {
+				if len(row) >= 5 && row[4] != "true" {
+					t.Errorf("E13 equivalence failed: %v", row)
+				}
+			}
+		}
+	})
+}
+
+// Full-sweep smoke test: every experiment except the deliberately slow E19
+// must also succeed with quick=false (the mode cmd/secureview-bench runs).
+func TestAllExperimentsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps skipped in -short mode")
+	}
+	for _, e := range Registry() {
+		if e.ID == "E19" {
+			continue // several seconds of simplex; covered by the CLI run
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(false)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 && len(tab.Notes) == 0 {
+					t.Errorf("table %q empty", tab.Title)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Package exp is the experiment harness: it hosts the registry of
+// reproduction experiments E1–E15 (one per paper artifact, see DESIGN.md
+// section 4) and renders their results as aligned text tables. The
+// cmd/secureview-bench binary and the root benchmarks both drive this
+// registry; EXPERIMENTS.md records its output.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one result table of an experiment.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row; cells are formatted with %v (floats with %.3g).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-text note rendered under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one registry entry.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E15).
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Run executes the experiment and returns its tables. Quick trims the
+	// parameter sweep for use inside benchmarks and CI.
+	Run func(quick bool) []*Table
+}

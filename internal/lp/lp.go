@@ -1,0 +1,334 @@
+// Package lp implements a small linear-programming solver: a dense
+// two-phase simplex with Bland's anti-cycling rule.
+//
+// It is the substrate for the paper's approximation algorithms, which round
+// fractional solutions of LP relaxations (Theorem 5's cardinality IP of
+// Figure 3, Theorem 6's set-constraint LP, and the general-workflow LP of
+// appendix C.4). Instance sizes there are modest (hundreds of variables),
+// so an exact dense simplex is appropriate. Only the standard library is
+// used.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+const (
+	// LE is a ≤ constraint.
+	LE Op = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an equality constraint.
+	EQ
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective can decrease without bound.
+	Unbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+type constraint struct {
+	coeffs map[int]float64
+	op     Op
+	rhs    float64
+}
+
+// Problem is a minimization LP over non-negative variables. Build with
+// NewProblem, then set objective coefficients and add constraints.
+type Problem struct {
+	n           int
+	objective   []float64
+	constraints []constraint
+	names       []string
+}
+
+// NewProblem returns a problem with numVars non-negative variables and an
+// all-zero objective.
+func NewProblem(numVars int) *Problem {
+	return &Problem{
+		n:         numVars,
+		objective: make([]float64, numVars),
+		names:     make([]string, numVars),
+	}
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return p.n }
+
+// SetName attaches a debug name to variable i.
+func (p *Problem) SetName(i int, name string) { p.names[i] = name }
+
+// SetObjective sets the coefficient of variable i in the minimized
+// objective.
+func (p *Problem) SetObjective(i int, coeff float64) {
+	p.objective[i] = coeff
+}
+
+// AddConstraint adds Σ coeffs[i]·x_i (op) rhs. The coefficient map is
+// copied. Unknown variable indices are rejected.
+func (p *Problem) AddConstraint(coeffs map[int]float64, op Op, rhs float64) error {
+	c := constraint{coeffs: make(map[int]float64, len(coeffs)), op: op, rhs: rhs}
+	for i, v := range coeffs {
+		if i < 0 || i >= p.n {
+			return fmt.Errorf("lp: variable index %d out of range [0,%d)", i, p.n)
+		}
+		if v != 0 {
+			c.coeffs[i] = v
+		}
+	}
+	p.constraints = append(p.constraints, c)
+	return nil
+}
+
+// MustAddConstraint is like AddConstraint but panics on error.
+func (p *Problem) MustAddConstraint(coeffs map[int]float64, op Op, rhs float64) {
+	if err := p.AddConstraint(coeffs, op, rhs); err != nil {
+		panic(err)
+	}
+}
+
+// AddUpperBound adds x_i <= bound.
+func (p *Problem) AddUpperBound(i int, bound float64) error {
+	return p.AddConstraint(map[int]float64{i: 1}, LE, bound)
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Solve runs the two-phase simplex and returns the optimal solution, or a
+// Solution with Infeasible/Unbounded status.
+func (p *Problem) Solve() Solution {
+	m := len(p.constraints)
+	// Standard form: for each constraint, normalize rhs >= 0, then add a
+	// slack (LE), a surplus plus artificial (GE), or an artificial (EQ).
+	type rowSpec struct {
+		coeffs map[int]float64
+		op     Op
+		rhs    float64
+	}
+	rows := make([]rowSpec, m)
+	nSlack, nArt := 0, 0
+	for i, c := range p.constraints {
+		rc := rowSpec{coeffs: c.coeffs, op: c.op, rhs: c.rhs}
+		if rc.rhs < 0 {
+			flipped := make(map[int]float64, len(rc.coeffs))
+			for j, v := range rc.coeffs {
+				flipped[j] = -v
+			}
+			rc.coeffs = flipped
+			rc.rhs = -rc.rhs
+			switch rc.op {
+			case LE:
+				rc.op = GE
+			case GE:
+				rc.op = LE
+			}
+		}
+		rows[i] = rc
+		switch rc.op {
+		case LE, GE:
+			nSlack++
+		}
+		if rc.op != LE {
+			nArt++
+		}
+	}
+	total := p.n + nSlack + nArt
+	// Tableau: m rows × (total + 1) columns (last column is rhs).
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := p.n
+	artCol := p.n + nSlack
+	artStart := artCol
+	for i, rc := range rows {
+		row := make([]float64, total+1)
+		for j, v := range rc.coeffs {
+			row[j] = v
+		}
+		row[total] = rc.rhs
+		switch rc.op {
+		case LE:
+			row[slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+		tab[i] = row
+	}
+
+	if nArt > 0 {
+		// Phase 1: minimize the sum of artificial variables.
+		phase1 := make([]float64, total)
+		for j := artStart; j < artStart+nArt; j++ {
+			phase1[j] = 1
+		}
+		status := simplex(tab, basis, phase1, total)
+		if status == Unbounded {
+			// Phase 1 objective is bounded below by 0; unbounded cannot
+			// happen, but guard anyway.
+			return Solution{Status: Infeasible}
+		}
+		sum := 0.0
+		for i, b := range basis {
+			if b >= artStart {
+				sum += tab[i][total]
+			}
+		}
+		if sum > 1e-7 {
+			return Solution{Status: Infeasible}
+		}
+		// Drive remaining artificial variables out of the basis.
+		for i, b := range basis {
+			if b < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it including the artificial column.
+				for j := 0; j <= total; j++ {
+					tab[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective, with artificial columns frozen at zero.
+	phase2 := make([]float64, total)
+	copy(phase2, p.objective)
+	for j := artStart; j < artStart+nArt; j++ {
+		phase2[j] = math.Inf(1) // never re-enter
+	}
+	status := simplex(tab, basis, phase2, total)
+	if status == Unbounded {
+		return Solution{Status: Unbounded}
+	}
+	x := make([]float64, p.n)
+	for i, b := range basis {
+		if b < p.n {
+			x[b] = tab[i][total]
+		}
+	}
+	obj := 0.0
+	for j, v := range p.objective {
+		obj += v * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}
+}
+
+// simplex optimizes min cost·x over the tableau in place. Reduced costs are
+// recomputed from the basis each iteration (revised-style on a dense
+// tableau); Bland's rule guarantees termination.
+func simplex(tab [][]float64, basis []int, cost []float64, total int) Status {
+	m := len(tab)
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			// Safety valve; with Bland's rule this should be unreachable.
+			return Optimal
+		}
+		// Reduced costs: r_j = c_j - c_B · B^{-1} A_j. The tableau already
+		// holds B^{-1}A, so r_j = c_j - Σ_i c_basis[i] · tab[i][j].
+		enter := -1
+		for j := 0; j < total; j++ {
+			if math.IsInf(cost[j], 1) {
+				continue
+			}
+			r := cost[j]
+			for i := 0; i < m; i++ {
+				cb := cost[basis[i]]
+				if math.IsInf(cb, 1) {
+					cb = 0
+				}
+				r -= cb * tab[i][j]
+			}
+			if r < -eps {
+				enter = j // Bland: first (smallest) index
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Ratio test with Bland tie-breaking on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > eps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		pivot(tab, basis, leave, enter, total)
+	}
+}
+
+func pivot(tab [][]float64, basis []int, row, col, total int) {
+	p := tab[row][col]
+	for j := 0; j <= total; j++ {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,230 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMinimization(t *testing.T) {
+	// min x + y  s.t. x + y >= 2, x <= 3, y <= 3  → objective 2.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.MustAddConstraint(map[int]float64{0: 1, 1: 1}, GE, 2)
+	p.MustAddConstraint(map[int]float64{0: 1}, LE, 3)
+	p.MustAddConstraint(map[int]float64{1: 1}, LE, 3)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 2) {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestMaximizationViaNegation(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x <= 2  (x,y >= 0) → optimum 10 at (2,2).
+	p := NewProblem(2)
+	p.SetObjective(0, -3)
+	p.SetObjective(1, -2)
+	p.MustAddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	p.MustAddConstraint(map[int]float64{0: 1}, LE, 2)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(-s.Objective, 10) {
+		t.Fatalf("status=%v obj=%v, want optimal -10", s.Status, s.Objective)
+	}
+	if !approx(s.X[0], 2) || !approx(s.X[1], 2) {
+		t.Fatalf("x = %v, want (2,2)", s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min 2x + y  s.t. x + y = 5, x >= 1 → x=1, y=4, obj 6.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 1)
+	p.MustAddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 5)
+	p.MustAddConstraint(map[int]float64{0: 1}, GE, 1)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Objective, 6) {
+		t.Fatalf("status=%v obj=%v, want optimal 6", s.Status, s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.MustAddConstraint(map[int]float64{0: 1}, GE, 5)
+	p.MustAddConstraint(map[int]float64{0: 1}, LE, 2)
+	if s := p.Solve(); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x >= 0: unbounded below.
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.MustAddConstraint(map[int]float64{0: 1}, GE, 0)
+	if s := p.Solve(); s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -1 with min x+y: equivalent to y >= x+1 → optimum (0,1).
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.MustAddConstraint(map[int]float64{0: 1, 1: -1}, LE, -1)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Objective, 1) {
+		t.Fatalf("status=%v obj=%v, want optimal 1", s.Status, s.Objective)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Redundant constraints and a degenerate vertex must not cycle.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.MustAddConstraint(map[int]float64{0: 1, 1: 1}, GE, 1)
+	p.MustAddConstraint(map[int]float64{0: 2, 1: 2}, GE, 2) // same halfplane
+	p.MustAddConstraint(map[int]float64{0: 1}, LE, 1)
+	p.MustAddConstraint(map[int]float64{1: 1}, LE, 1)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Objective, 1) {
+		t.Fatalf("status=%v obj=%v, want optimal 1", s.Status, s.Objective)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	// Feasibility-only problem.
+	p := NewProblem(2)
+	p.MustAddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 3)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.X[0]+s.X[1], 3) {
+		t.Fatalf("status=%v x=%v", s.Status, s.X)
+	}
+}
+
+func TestAddConstraintValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.AddConstraint(map[int]float64{5: 1}, LE, 1); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if err := p.AddConstraint(map[int]float64{0: 1}, LE, 1); err != nil {
+		t.Errorf("valid constraint rejected: %v", err)
+	}
+	if p.NumVars() != 2 {
+		t.Error("NumVars wrong")
+	}
+}
+
+func TestUpperBoundHelper(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	if err := p.AddUpperBound(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.X[0], 7) {
+		t.Fatalf("x = %v, want 7", s.X)
+	}
+}
+
+// Set-cover LP relaxation: fractional optimum is at most the integral
+// optimum. Universe {1,2,3}, sets {1,2},{2,3},{1,3}: integral optimum 2,
+// fractional optimum 1.5 (each set at 1/2).
+func TestSetCoverRelaxation(t *testing.T) {
+	p := NewProblem(3)
+	for i := 0; i < 3; i++ {
+		p.SetObjective(i, 1)
+	}
+	p.MustAddConstraint(map[int]float64{0: 1, 2: 1}, GE, 1) // element 1
+	p.MustAddConstraint(map[int]float64{0: 1, 1: 1}, GE, 1) // element 2
+	p.MustAddConstraint(map[int]float64{1: 1, 2: 1}, GE, 1) // element 3
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Objective, 1.5) {
+		t.Fatalf("status=%v obj=%v, want optimal 1.5", s.Status, s.Objective)
+	}
+}
+
+// Property: the solution returned is feasible and no worse than a known
+// feasible point, on random covering LPs (min c·x, Ax >= b, x <= 1 with
+// all-ones feasible).
+func TestQuickCoveringLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = 1 + rng.Float64()*9
+			p.SetObjective(j, c[j])
+			if err := p.AddUpperBound(j, 1); err != nil {
+				return false
+			}
+		}
+		type row struct {
+			coeffs map[int]float64
+			rhs    float64
+		}
+		rows := make([]row, m)
+		for i := range rows {
+			coeffs := make(map[int]float64)
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					v := 1 + rng.Float64()*4
+					coeffs[j] = v
+					sum += v
+				}
+			}
+			// rhs <= sum ensures the all-ones point is feasible.
+			rhs := sum * rng.Float64()
+			rows[i] = row{coeffs, rhs}
+			p.MustAddConstraint(coeffs, GE, rhs)
+		}
+		s := p.Solve()
+		if s.Status != Optimal {
+			return false
+		}
+		// Feasibility of the returned point.
+		for _, r := range rows {
+			lhs := 0.0
+			for j, v := range r.coeffs {
+				lhs += v * s.X[j]
+			}
+			if lhs < r.rhs-1e-6 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			if s.X[j] < -1e-9 || s.X[j] > 1+1e-6 {
+				return false
+			}
+		}
+		// No worse than the all-ones feasible point.
+		allOnes := 0.0
+		for _, v := range c {
+			allOnes += v
+		}
+		return s.Objective <= allOnes+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(99).String() != "unknown" {
+		t.Error("Status.String wrong")
+	}
+}

@@ -1,0 +1,192 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Random equality systems with a known feasible point: Ax = Ax0 for a
+// random non-negative x0, minimize a random non-negative objective. The
+// solver must report optimal with objective <= c·x0 and an exactly feasible
+// point.
+func TestQuickRandomEqualitySystems(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(n) // fewer equations than variables keeps it feasible
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = rng.Float64() * 5
+		}
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64() * 3
+			p.SetObjective(j, c[j])
+		}
+		rows := make([]map[int]float64, m)
+		for i := 0; i < m; i++ {
+			coeffs := make(map[int]float64)
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				v := rng.Float64()*4 - 2
+				coeffs[j] = v
+				rhs += v * x0[j]
+			}
+			rows[i] = coeffs
+			p.MustAddConstraint(coeffs, EQ, rhs)
+		}
+		s := p.Solve()
+		if s.Status != Optimal {
+			return false
+		}
+		// Feasibility of the returned point.
+		for i, coeffs := range rows {
+			lhs := 0.0
+			rhs := 0.0
+			for j, v := range coeffs {
+				lhs += v * s.X[j]
+				rhs += v * x0[j]
+			}
+			if lhs < rhs-1e-5 || lhs > rhs+1e-5 {
+				return false
+			}
+			_ = i
+		}
+		want := 0.0
+		for j := range c {
+			want += c[j] * x0[j]
+		}
+		return s.Objective <= want+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Redundant equality rows (duplicated constraints) must not break phase 1's
+// artificial-variable elimination.
+func TestRedundantEqualities(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 2)
+	for i := 0; i < 4; i++ {
+		p.MustAddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 3)
+	}
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Objective, 3) {
+		t.Fatalf("status=%v obj=%v, want optimal 3 (x=3,y=0)", s.Status, s.Objective)
+	}
+}
+
+// A moderately large assignment-like LP: n suppliers, n consumers,
+// doubly-stochastic constraints; the optimum of a random cost matrix must
+// match a brute-force minimum over permutations for small n (Birkhoff: LP
+// optimum is attained at a permutation).
+func TestAssignmentPolytope(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(99))
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64() * 10
+		}
+	}
+	p := NewProblem(n * n)
+	for i := 0; i < n; i++ {
+		rowC := make(map[int]float64)
+		colC := make(map[int]float64)
+		for j := 0; j < n; j++ {
+			p.SetObjective(i*n+j, cost[i][j])
+			rowC[i*n+j] = 1
+			colC[j*n+i] = 1
+		}
+		p.MustAddConstraint(rowC, EQ, 1)
+		p.MustAddConstraint(colC, EQ, 1)
+	}
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	best := bruteForceAssignment(cost)
+	if !approx(s.Objective, best) {
+		t.Fatalf("LP objective = %v, permutation optimum = %v", s.Objective, best)
+	}
+}
+
+func bruteForceAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := -1.0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			total := 0.0
+			for r, c := range perm {
+				total += cost[r][c]
+			}
+			if best < 0 || total < best {
+				best = total
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Many-variable covering LP stress: 60 variables, 40 constraints; just
+// assert optimality, feasibility and bounded runtime (the test would time
+// out if the simplex cycled).
+func TestLargeCoveringLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 60, 40
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObjective(j, 1+rng.Float64()*9)
+		if err := p.AddUpperBound(j, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type row struct {
+		coeffs map[int]float64
+		rhs    float64
+	}
+	rows := make([]row, m)
+	for i := range rows {
+		coeffs := make(map[int]float64)
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				v := 1 + rng.Float64()*2
+				coeffs[j] = v
+				sum += v
+			}
+		}
+		rows[i] = row{coeffs, sum * 0.4}
+		p.MustAddConstraint(coeffs, GE, rows[i].rhs)
+	}
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	for _, r := range rows {
+		lhs := 0.0
+		for j, v := range r.coeffs {
+			lhs += v * s.X[j]
+		}
+		if lhs < r.rhs-1e-5 {
+			t.Fatalf("constraint violated: %v < %v", lhs, r.rhs)
+		}
+	}
+}

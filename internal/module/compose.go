@@ -1,0 +1,104 @@
+package module
+
+import (
+	"fmt"
+
+	"secureview/internal/relation"
+)
+
+// Compose builds the sequential composition g ∘ f as a single module: every
+// output of f that g consumes is wired through; outputs of f that g does
+// not consume are re-exposed as outputs of the composite, and inputs of g
+// not produced by f become extra inputs. The composite's interface is
+//
+//	inputs:  I_f ∪ (I_g \ O_f)
+//	outputs: (O_f \ I_g) ∪ O_g
+//
+// Composition is how the paper's "module" abstraction absorbs sub-pipelines
+// whose internal wiring the owner does not want to model (e.g. treating a
+// two-step proprietary analysis as one private module). The composite's
+// relation is exactly the join of the components projected onto the
+// interface, so privacy analyses of the composite are analyses of the
+// sub-pipeline with its internal attributes always hidden.
+func Compose(name string, f, g *Module) (*Module, error) {
+	fOut := relation.NewNameSet(f.OutputNames()...)
+	gIn := relation.NewNameSet(g.InputNames()...)
+	for _, a := range f.InputNames() {
+		if gIn.Has(a) {
+			return nil, fmt.Errorf("module: compose %s: attribute %q is input to both", name, a)
+		}
+	}
+	for _, a := range g.OutputNames() {
+		if fOut.Has(a) {
+			return nil, fmt.Errorf("module: compose %s: attribute %q is output of both", name, a)
+		}
+	}
+	// Domains of shared attributes must agree.
+	for _, ga := range g.Inputs() {
+		for _, fa := range f.Outputs() {
+			if ga.Name == fa.Name && ga.Domain != fa.Domain {
+				return nil, fmt.Errorf("module: compose %s: attribute %q domain mismatch %d vs %d",
+					name, ga.Name, fa.Domain, ga.Domain)
+			}
+		}
+	}
+
+	var inputs []relation.Attribute
+	inputs = append(inputs, f.Inputs()...)
+	for _, a := range g.Inputs() {
+		if !fOut.Has(a.Name) {
+			inputs = append(inputs, a)
+		}
+	}
+	var outputs []relation.Attribute
+	for _, a := range f.Outputs() {
+		if !gIn.Has(a.Name) {
+			outputs = append(outputs, a)
+		}
+	}
+	outputs = append(outputs, g.Outputs()...)
+
+	inIdx := make(map[string]int, len(inputs))
+	for i, a := range inputs {
+		inIdx[a.Name] = i
+	}
+	fInNames := f.InputNames()
+	fOutNames := f.OutputNames()
+	gInNames := g.InputNames()
+
+	fn := func(x relation.Tuple) relation.Tuple {
+		fIn := make(relation.Tuple, len(fInNames))
+		for i, n := range fInNames {
+			fIn[i] = x[inIdx[n]]
+		}
+		fRes := f.MustEval(fIn)
+		fVal := make(map[string]relation.Value, len(fOutNames))
+		for i, n := range fOutNames {
+			fVal[n] = fRes[i]
+		}
+		gArg := make(relation.Tuple, len(gInNames))
+		for i, n := range gInNames {
+			if v, ok := fVal[n]; ok {
+				gArg[i] = v
+			} else {
+				gArg[i] = x[inIdx[n]]
+			}
+		}
+		gRes := g.MustEval(gArg)
+		out := make(relation.Tuple, 0, len(outputs))
+		for _, a := range f.Outputs() {
+			if !gIn.Has(a.Name) {
+				out = append(out, fVal[a.Name])
+			}
+		}
+		return append(out, gRes...)
+	}
+	m, err := New(name, inputs, outputs, fn)
+	if err != nil {
+		return nil, err
+	}
+	if f.Visibility() == Public && g.Visibility() == Public {
+		m.visibility = Public
+	}
+	return m, nil
+}

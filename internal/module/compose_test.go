@@ -1,0 +1,121 @@
+package module
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/relation"
+)
+
+func TestComposeChain(t *testing.T) {
+	f := Identity("f", []string{"a"}, []string{"b"})
+	g := Not("g", "b", "c")
+	c, err := Compose("fg", f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InputNames(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("inputs = %v", got)
+	}
+	if got := c.OutputNames(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("outputs = %v", got)
+	}
+	if c.MustEval(relation.Tuple{0})[0] != 1 {
+		t.Error("fg(0) != not(id(0))")
+	}
+}
+
+func TestComposePartialWiring(t *testing.T) {
+	// f produces u, v; g consumes u and a fresh input w; v is re-exposed.
+	f := MustNew("f", relation.Bools("a"), relation.Bools("u", "v"),
+		func(x relation.Tuple) relation.Tuple { return relation.Tuple{x[0], 1 - x[0]} })
+	g := And("g", []string{"u", "w"}, "z")
+	c, err := Compose("fg", f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inNames := c.InputNames()
+	if len(inNames) != 2 || inNames[0] != "a" || inNames[1] != "w" {
+		t.Fatalf("inputs = %v, want [a w]", inNames)
+	}
+	outNames := c.OutputNames()
+	if len(outNames) != 2 || outNames[0] != "v" || outNames[1] != "z" {
+		t.Fatalf("outputs = %v, want [v z]", outNames)
+	}
+	// a=1, w=1: u=1, v=0, z=1∧1=1.
+	got := c.MustEval(relation.Tuple{1, 1})
+	if !got.Equal(relation.Tuple{0, 1}) {
+		t.Fatalf("fg(1,1) = %v, want [0 1]", got)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	// g consuming one of f's inputs is ambiguous wiring.
+	f := Identity("f", []string{"a"}, []string{"b"})
+	g := And("g", []string{"a", "b"}, "c")
+	if _, err := Compose("bad", f, g); err == nil {
+		t.Error("shared input accepted")
+	}
+	// Output collision: g produces an attribute f already produces.
+	f2 := Identity("f", []string{"a"}, []string{"b"})
+	gBad := MustNew("gbad", relation.Bools("zz"), relation.Bools("b"),
+		func(x relation.Tuple) relation.Tuple { return x })
+	if _, err := Compose("bad2", f2, gBad); err == nil {
+		t.Error("output collision accepted")
+	}
+	// Domain mismatch on the wire.
+	f3 := MustNew("f3", relation.Bools("a"), []relation.Attribute{{Name: "m", Domain: 3}},
+		func(x relation.Tuple) relation.Tuple { return relation.Tuple{x[0]} })
+	g4 := Not("g4", "m", "n")
+	if _, err := Compose("bad3", f3, g4); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+}
+
+func TestComposeVisibility(t *testing.T) {
+	f := Identity("f", []string{"a"}, []string{"b"}).AsPublic()
+	g := Not("g", "b", "c").AsPublic()
+	c, err := Compose("fg", f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Visibility() != Public {
+		t.Error("public∘public not public")
+	}
+	gPriv := Not("g", "b", "c")
+	c2, err := Compose("fg", f, gPriv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Visibility() != Private {
+		t.Error("public∘private not private")
+	}
+}
+
+// Property: the composite's relation equals the join of the component
+// relations projected onto the composite interface — the paper's view of a
+// sub-pipeline as one module.
+func TestQuickComposeIsProjectedJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := Random("f", relation.Bools("a1", "a2"), relation.Bools("u1", "u2"), rng)
+		g := Random("g", relation.Bools("u1", "u2"), relation.Bools("z1"), rng)
+		c, err := Compose("fg", f, g)
+		if err != nil {
+			return false
+		}
+		joined, err := f.Relation().Join(g.Relation())
+		if err != nil {
+			return false
+		}
+		want, err := joined.Project(c.AttrNames())
+		if err != nil {
+			return false
+		}
+		return c.Relation().Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

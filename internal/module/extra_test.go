@@ -1,0 +1,114 @@
+package module
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/relation"
+)
+
+// Property: the adder computes integer addition for random widths.
+func TestQuickAdderCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		xN := make([]string, k)
+		yN := make([]string, k)
+		sN := make([]string, k+1)
+		for i := 0; i < k; i++ {
+			xN[i] = fmt.Sprintf("x%d", i)
+			yN[i] = fmt.Sprintf("y%d", i)
+		}
+		for i := 0; i <= k; i++ {
+			sN[i] = fmt.Sprintf("s%d", i)
+		}
+		m := Adder("add", xN, yN, sN)
+		a := rng.Intn(1 << k)
+		b := rng.Intn(1 << k)
+		in := make(relation.Tuple, 2*k)
+		for i := 0; i < k; i++ {
+			in[i] = (a >> (k - 1 - i)) & 1
+			in[k+i] = (b >> (k - 1 - i)) & 1
+		}
+		out := m.MustEval(in)
+		got := 0
+		for _, v := range out {
+			got = got<<1 | v
+		}
+		return got == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Permutation modules compose with their table round trip and
+// stay injective after FromRelation.
+func TestQuickPermutationTableRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Permutation("p", []string{"x1", "x2"}, []string{"y1", "y2"}, rng)
+		m2, err := FromRelation("copy", p.Relation(), p.InputNames(), p.OutputNames(), Private)
+		if err != nil {
+			return false
+		}
+		return m2.IsOneToOne()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BoolGate must mask outputs to {0,1} even if the closure returns larger
+// values.
+func TestBoolGateMasksOutput(t *testing.T) {
+	g := BoolGate("g", []string{"x"}, "y", func(v []relation.Value) relation.Value {
+		return 7 // deliberately out of range; &1 masks to 1
+	})
+	if got := g.MustEval(relation.Tuple{0}); got[0] != 1 {
+		t.Fatalf("masked output = %d, want 1", got[0])
+	}
+}
+
+func TestZeroInputModule(t *testing.T) {
+	// A module with no inputs is a constant source; its relation has one
+	// row.
+	m := MustNew("const", nil, relation.Bools("y"),
+		func(relation.Tuple) relation.Tuple { return relation.Tuple{1} })
+	r := m.Relation()
+	if r.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", r.Len())
+	}
+	if n, ok := m.InputDomainSize(); !ok || n != 1 {
+		t.Fatalf("input domain size = %d, %v", n, ok)
+	}
+}
+
+func TestConstantPanicsOnArityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch accepted")
+		}
+	}()
+	Constant("c", relation.Bools("x"), relation.Bools("y", "z"), relation.Tuple{1})
+}
+
+func TestIdentityPanicsOnArityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch accepted")
+		}
+	}()
+	Identity("id", []string{"a", "b"}, []string{"c"})
+}
+
+func TestAdderPanicsOnBadWidths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad widths accepted")
+		}
+	}()
+	Adder("a", []string{"x"}, []string{"y"}, []string{"s"})
+}

@@ -1,0 +1,255 @@
+package module
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secureview/internal/relation"
+)
+
+// This file contains the standard module constructions used throughout the
+// paper: the Figure 1 example modules, one-one functions (identity,
+// complement, random permutations), constant functions, majority, gates and
+// adders. They double as realistic workloads for the benchmarks.
+
+// BoolGate builds a module with boolean inputs and a single boolean output
+// computed by f over the input values.
+func BoolGate(name string, inNames []string, outName string, f func([]relation.Value) relation.Value) *Module {
+	return MustNew(name, relation.Bools(inNames...), relation.Bools(outName),
+		func(x relation.Tuple) relation.Tuple {
+			return relation.Tuple{f(x) & 1}
+		})
+}
+
+// And returns an AND gate over the named inputs.
+func And(name string, inNames []string, outName string) *Module {
+	return BoolGate(name, inNames, outName, func(x []relation.Value) relation.Value {
+		for _, v := range x {
+			if v == 0 {
+				return 0
+			}
+		}
+		return 1
+	})
+}
+
+// Or returns an OR gate over the named inputs.
+func Or(name string, inNames []string, outName string) *Module {
+	return BoolGate(name, inNames, outName, func(x []relation.Value) relation.Value {
+		for _, v := range x {
+			if v == 1 {
+				return 1
+			}
+		}
+		return 0
+	})
+}
+
+// Xor returns a parity gate over the named inputs.
+func Xor(name string, inNames []string, outName string) *Module {
+	return BoolGate(name, inNames, outName, func(x []relation.Value) relation.Value {
+		s := 0
+		for _, v := range x {
+			s ^= v
+		}
+		return s
+	})
+}
+
+// Nand returns a NAND gate over the named inputs.
+func Nand(name string, inNames []string, outName string) *Module {
+	return BoolGate(name, inNames, outName, func(x []relation.Value) relation.Value {
+		for _, v := range x {
+			if v == 0 {
+				return 1
+			}
+		}
+		return 0
+	})
+}
+
+// Not returns a single-input negation module.
+func Not(name, inName, outName string) *Module {
+	return BoolGate(name, []string{inName}, outName, func(x []relation.Value) relation.Value {
+		return 1 - x[0]
+	})
+}
+
+// Fig1M1 returns module m1 of the paper's Figure 1: inputs a1, a2 and
+// outputs a3 = a1 ∨ a2, a4 = ¬(a1 ∧ a2), a5 = ¬(a1 ⊕ a2).
+func Fig1M1() *Module {
+	return MustNew("m1", relation.Bools("a1", "a2"), relation.Bools("a3", "a4", "a5"),
+		func(x relation.Tuple) relation.Tuple {
+			a1, a2 := x[0], x[1]
+			or := a1 | a2
+			nand := 1 - a1&a2
+			xnor := 1 - (a1 ^ a2)
+			return relation.Tuple{or, nand, xnor}
+		})
+}
+
+// Fig1M2 returns module m2 of Figure 1: a6 = ¬(a3 ∧ a4), consistent with
+// the executions shown in Figure 1(b).
+func Fig1M2() *Module {
+	return MustNew("m2", relation.Bools("a3", "a4"), relation.Bools("a6"),
+		func(x relation.Tuple) relation.Tuple {
+			return relation.Tuple{1 - x[0]&x[1]}
+		})
+}
+
+// Fig1M3 returns module m3 of Figure 1: a7 = a4 ⊕ a5, consistent with the
+// executions shown in Figure 1(b).
+func Fig1M3() *Module {
+	return MustNew("m3", relation.Bools("a4", "a5"), relation.Bools("a7"),
+		func(x relation.Tuple) relation.Tuple {
+			return relation.Tuple{x[0] ^ x[1]}
+		})
+}
+
+// Identity returns the one-one module that copies its i-th input to its i-th
+// output. Input and output name lists must have equal length; attributes are
+// boolean.
+func Identity(name string, inNames, outNames []string) *Module {
+	if len(inNames) != len(outNames) {
+		panic(fmt.Sprintf("module %s: identity arity mismatch %d vs %d", name, len(inNames), len(outNames)))
+	}
+	return MustNew(name, relation.Bools(inNames...), relation.Bools(outNames...),
+		func(x relation.Tuple) relation.Tuple {
+			return append(relation.Tuple(nil), x...)
+		})
+}
+
+// Complement returns the one-one module that flips every boolean input bit
+// ("reverses the values of its k inputs", used in the proof of
+// Proposition 2).
+func Complement(name string, inNames, outNames []string) *Module {
+	if len(inNames) != len(outNames) {
+		panic(fmt.Sprintf("module %s: complement arity mismatch", name))
+	}
+	return MustNew(name, relation.Bools(inNames...), relation.Bools(outNames...),
+		func(x relation.Tuple) relation.Tuple {
+			y := make(relation.Tuple, len(x))
+			for i, v := range x {
+				y[i] = 1 - v
+			}
+			return y
+		})
+}
+
+// Constant returns a module that ignores its inputs and emits the fixed
+// output tuple (the public module m' of Example 7).
+func Constant(name string, inputs, outputs []relation.Attribute, value relation.Tuple) *Module {
+	if len(value) != len(outputs) {
+		panic(fmt.Sprintf("module %s: constant arity mismatch", name))
+	}
+	fixed := append(relation.Tuple(nil), value...)
+	return MustNew(name, inputs, outputs, func(relation.Tuple) relation.Tuple {
+		return fixed
+	})
+}
+
+// Majority returns the majority module of Example 6: len(inNames) boolean
+// inputs (conventionally 2k of them) and one boolean output which is 1 iff
+// the number of ones in the input is at least half the input count.
+func Majority(name string, inNames []string, outName string) *Module {
+	k := (len(inNames) + 1) / 2
+	return BoolGate(name, inNames, outName, func(x []relation.Value) relation.Value {
+		ones := 0
+		for _, v := range x {
+			ones += v
+		}
+		if ones >= k {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Threshold returns a module that outputs 1 iff at least t of its boolean
+// inputs are 1 (used by the Theorem 3 adversary constructions).
+func Threshold(name string, inNames []string, outName string, t int) *Module {
+	return BoolGate(name, inNames, outName, func(x []relation.Value) relation.Value {
+		ones := 0
+		for _, v := range x {
+			ones += v
+		}
+		if ones >= t {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Adder returns a binary ripple-carry adder: inputs xNames and yNames (two
+// k-bit numbers, most significant bit first) and k+1 output bits (sum, most
+// significant bit first). A realistic medium-size module for workloads.
+func Adder(name string, xNames, yNames, sumNames []string) *Module {
+	k := len(xNames)
+	if len(yNames) != k || len(sumNames) != k+1 {
+		panic(fmt.Sprintf("module %s: adder arities must be k,k,k+1", name))
+	}
+	in := append(relation.Bools(xNames...), relation.Bools(yNames...)...)
+	return MustNew(name, in, relation.Bools(sumNames...),
+		func(t relation.Tuple) relation.Tuple {
+			x, y := 0, 0
+			for i := 0; i < k; i++ {
+				x = x<<1 | t[i]
+				y = y<<1 | t[k+i]
+			}
+			s := x + y
+			out := make(relation.Tuple, k+1)
+			for i := k; i >= 0; i-- {
+				out[i] = s & 1
+				s >>= 1
+			}
+			return out
+		})
+}
+
+// Permutation returns a uniformly random one-one module over k boolean
+// inputs and k boolean outputs, drawn from rng. Deterministic given the rng
+// state.
+func Permutation(name string, inNames, outNames []string, rng *rand.Rand) *Module {
+	k := len(inNames)
+	if len(outNames) != k {
+		panic(fmt.Sprintf("module %s: permutation arity mismatch", name))
+	}
+	n := 1 << k
+	perm := rng.Perm(n)
+	return MustNew(name, relation.Bools(inNames...), relation.Bools(outNames...),
+		func(x relation.Tuple) relation.Tuple {
+			code := 0
+			for _, v := range x {
+				code = code<<1 | v
+			}
+			out := perm[code]
+			y := make(relation.Tuple, k)
+			for i := k - 1; i >= 0; i-- {
+				y[i] = out & 1
+				out >>= 1
+			}
+			return y
+		})
+}
+
+// Random returns a module with a uniformly random truth table over the given
+// attributes, drawn from rng. Useful as an "unknown proprietary module" in
+// workloads.
+func Random(name string, inputs, outputs []relation.Attribute, rng *rand.Rand) *Module {
+	inSchema := relation.MustSchema(inputs...)
+	size, ok := inSchema.DomainProduct(inSchema.Names())
+	if !ok || size > 1<<22 {
+		panic(fmt.Sprintf("module %s: input domain too large for random table", name))
+	}
+	table := make([]relation.Tuple, size)
+	for i := range table {
+		y := make(relation.Tuple, len(outputs))
+		for j, a := range outputs {
+			y[j] = rng.Intn(a.Domain)
+		}
+		table[i] = y
+	}
+	return MustNew(name, inputs, outputs, func(x relation.Tuple) relation.Tuple {
+		return table[relation.Encode(inSchema, x)]
+	})
+}

@@ -1,0 +1,324 @@
+// Package module models workflow modules: finite functions from a tuple of
+// input attributes I to a tuple of output attributes O, i.e. relations over
+// I ∪ O satisfying the functional dependency I → O (Davidson et al., PODS
+// 2011, section 2.1).
+//
+// A Module is the unit the paper reasons about: its privacy is the
+// indistinguishability of the mapping x ↦ m(x) given a projected view of its
+// relation. The package provides general constructors (closures and explicit
+// tables) plus the standard constructions the paper uses in examples and
+// proofs (gates, identity/reversal one-one functions, constant functions,
+// majority, adversarial gadgets).
+package module
+
+import (
+	"fmt"
+
+	"secureview/internal/relation"
+)
+
+// Func is a module's functionality: it maps an input tuple (aligned with the
+// module's input attributes) to an output tuple (aligned with the output
+// attributes). Implementations must be deterministic and total over the
+// input domain.
+type Func func(relation.Tuple) relation.Tuple
+
+// Visibility classifies a module as private or public (paper section 2.2).
+type Visibility int
+
+const (
+	// Private modules have no a-priori known behaviour; users learn about
+	// them only through the provenance view, and Γ-privacy must be
+	// enforced for them.
+	Private Visibility = iota
+	// Public modules have fully known behaviour (e.g. reformatting or
+	// sorting); possible worlds must preserve their functionality unless
+	// they are privatized (hidden) at a cost.
+	Public
+)
+
+// String returns "private" or "public".
+func (v Visibility) String() string {
+	if v == Public {
+		return "public"
+	}
+	return "private"
+}
+
+// Module is a finite function with named, typed input and output attributes.
+// Construct with New or a library constructor; the zero value is unusable.
+type Module struct {
+	name       string
+	visibility Visibility
+	inputs     []relation.Attribute
+	outputs    []relation.Attribute
+	inSchema   *relation.Schema
+	outSchema  *relation.Schema
+	fullSchema *relation.Schema
+	fn         Func
+}
+
+// New builds a module from its attribute lists and functionality. It
+// enforces the paper's well-formedness conditions on a single module:
+// input and output attribute names are disjoint (I ∩ O = ∅) and all names
+// are distinct. The function is trusted to be total and in-range; Eval
+// checks ranges at call time.
+func New(name string, inputs, outputs []relation.Attribute, fn Func) (*Module, error) {
+	if name == "" {
+		return nil, fmt.Errorf("module: empty name")
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("module %s: no output attributes", name)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("module %s: nil function", name)
+	}
+	inSchema, err := relation.NewSchema(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("module %s inputs: %w", name, err)
+	}
+	outSchema, err := relation.NewSchema(outputs)
+	if err != nil {
+		return nil, fmt.Errorf("module %s outputs: %w", name, err)
+	}
+	fullSchema, err := relation.NewSchema(append(append([]relation.Attribute{}, inputs...), outputs...))
+	if err != nil {
+		return nil, fmt.Errorf("module %s: inputs and outputs overlap: %w", name, err)
+	}
+	return &Module{
+		name:       name,
+		inputs:     append([]relation.Attribute(nil), inputs...),
+		outputs:    append([]relation.Attribute(nil), outputs...),
+		inSchema:   inSchema,
+		outSchema:  outSchema,
+		fullSchema: fullSchema,
+		fn:         fn,
+	}, nil
+}
+
+// MustNew is like New but panics on error; for statically known modules.
+func MustNew(name string, inputs, outputs []relation.Attribute, fn Func) *Module {
+	m, err := New(name, inputs, outputs, fn)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name returns the module's name.
+func (m *Module) Name() string { return m.name }
+
+// Visibility returns whether the module is private or public.
+func (m *Module) Visibility() Visibility { return m.visibility }
+
+// AsPublic returns a copy of the module marked public. The functionality is
+// shared with the receiver.
+func (m *Module) AsPublic() *Module {
+	c := *m
+	c.visibility = Public
+	return &c
+}
+
+// AsPrivate returns a copy of the module marked private.
+func (m *Module) AsPrivate() *Module {
+	c := *m
+	c.visibility = Private
+	return &c
+}
+
+// Inputs returns the input attributes I.
+func (m *Module) Inputs() []relation.Attribute { return append([]relation.Attribute(nil), m.inputs...) }
+
+// Outputs returns the output attributes O.
+func (m *Module) Outputs() []relation.Attribute {
+	return append([]relation.Attribute(nil), m.outputs...)
+}
+
+// InputNames returns the input attribute names in order.
+func (m *Module) InputNames() []string { return m.inSchema.Names() }
+
+// OutputNames returns the output attribute names in order.
+func (m *Module) OutputNames() []string { return m.outSchema.Names() }
+
+// AttrNames returns all attribute names, inputs then outputs.
+func (m *Module) AttrNames() []string { return m.fullSchema.Names() }
+
+// InputSchema returns the schema over I.
+func (m *Module) InputSchema() *relation.Schema { return m.inSchema }
+
+// OutputSchema returns the schema over O.
+func (m *Module) OutputSchema() *relation.Schema { return m.outSchema }
+
+// Schema returns the schema over I ∪ O (inputs first).
+func (m *Module) Schema() *relation.Schema { return m.fullSchema }
+
+// Arity returns k = |I| + |O|, the attribute count of the module relation.
+func (m *Module) Arity() int { return m.inSchema.Len() + m.outSchema.Len() }
+
+// Eval applies the module to an input tuple and validates the result's arity
+// and domain bounds.
+func (m *Module) Eval(x relation.Tuple) (relation.Tuple, error) {
+	if len(x) != m.inSchema.Len() {
+		return nil, fmt.Errorf("module %s: input arity %d, want %d", m.name, len(x), m.inSchema.Len())
+	}
+	for i, v := range x {
+		if v < 0 || v >= m.inputs[i].Domain {
+			return nil, fmt.Errorf("module %s: input %q value %d out of domain [0,%d)",
+				m.name, m.inputs[i].Name, v, m.inputs[i].Domain)
+		}
+	}
+	y := m.fn(x)
+	if len(y) != m.outSchema.Len() {
+		return nil, fmt.Errorf("module %s: output arity %d, want %d", m.name, len(y), m.outSchema.Len())
+	}
+	for i, v := range y {
+		if v < 0 || v >= m.outputs[i].Domain {
+			return nil, fmt.Errorf("module %s: output %q value %d out of domain [0,%d)",
+				m.name, m.outputs[i].Name, v, m.outputs[i].Domain)
+		}
+	}
+	return y, nil
+}
+
+// MustEval is like Eval but panics on error.
+func (m *Module) MustEval(x relation.Tuple) relation.Tuple {
+	y, err := m.Eval(x)
+	if err != nil {
+		panic(err)
+	}
+	return y
+}
+
+// Relation materializes the module's full functionality as a relation over
+// I ∪ O: one row (x, m(x)) for every x in the input domain. This is the
+// standalone relation R of section 2.1. It panics if the input domain is too
+// large to enumerate; use RelationOver for partial materialization.
+func (m *Module) Relation() *relation.Relation {
+	r := relation.New(m.fullSchema)
+	relation.EachTuple(m.inSchema, func(x relation.Tuple) bool {
+		y := m.MustEval(x)
+		row := make(relation.Tuple, 0, m.fullSchema.Len())
+		row = append(row, x...)
+		row = append(row, y...)
+		if err := r.Insert(row); err != nil {
+			panic(err)
+		}
+		return true
+	})
+	return r
+}
+
+// RelationOver materializes the module relation restricted to the given set
+// of input tuples (each aligned with the input schema). Duplicate inputs are
+// merged. This supports partial functions in the sense of the paper: the
+// relation describes only executions that occurred.
+func (m *Module) RelationOver(inputs []relation.Tuple) (*relation.Relation, error) {
+	r := relation.New(m.fullSchema)
+	for _, x := range inputs {
+		y, err := m.Eval(x)
+		if err != nil {
+			return nil, err
+		}
+		row := make(relation.Tuple, 0, m.fullSchema.Len())
+		row = append(row, x...)
+		row = append(row, y...)
+		if err := r.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// InputDomainSize returns |Dom| = ∏ |∆a| over input attributes, saturating
+// at false if it overflows.
+func (m *Module) InputDomainSize() (uint64, bool) {
+	return m.inSchema.DomainProduct(m.inSchema.Names())
+}
+
+// IsOneToOne reports whether the module is injective over its full input
+// domain. It enumerates the domain, so it is only suitable for small
+// modules.
+func (m *Module) IsOneToOne() bool {
+	seen := make(map[string]bool)
+	oneToOne := true
+	relation.EachTuple(m.inSchema, func(x relation.Tuple) bool {
+		y := m.MustEval(x)
+		k := fmt.Sprint(y)
+		if seen[k] {
+			oneToOne = false
+			return false
+		}
+		seen[k] = true
+		return true
+	})
+	return oneToOne
+}
+
+// WithFunc returns a copy of the module with the same schemas and name but a
+// replaced functionality. This is the primitive used to build possible
+// worlds by redefining modules (paper, proof of Lemma 1).
+func (m *Module) WithFunc(fn Func) *Module {
+	c := *m
+	c.fn = fn
+	return &c
+}
+
+// WithName returns a copy of the module renamed.
+func (m *Module) WithName(name string) *Module {
+	c := *m
+	c.name = name
+	return &c
+}
+
+// String returns a short description such as "m1: (a1,a2) -> (a3,a4,a5)".
+func (m *Module) String() string {
+	return fmt.Sprintf("%s: %v -> %v [%s]", m.name, m.InputNames(), m.OutputNames(), m.visibility)
+}
+
+// FromRelation builds a table-driven module from an explicit relation. The
+// relation's schema must contain all named inputs and outputs; it must
+// satisfy the FD inputs → outputs; and it must define an output for every
+// input combination that appears. Inputs absent from the relation are
+// rejected at Eval time.
+func FromRelation(name string, r *relation.Relation, inputNames, outputNames []string, vis Visibility) (*Module, error) {
+	inSchema, err := r.Schema().Project(inputNames)
+	if err != nil {
+		return nil, fmt.Errorf("module %s: %w", name, err)
+	}
+	outSchema, err := r.Schema().Project(outputNames)
+	if err != nil {
+		return nil, fmt.Errorf("module %s: %w", name, err)
+	}
+	ok, err := r.SatisfiesFD(inputNames, outputNames)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("module %s: relation violates FD %v -> %v", name, inputNames, outputNames)
+	}
+	table := make(map[uint64]relation.Tuple, r.Len())
+	for _, row := range r.Rows() {
+		x, err := r.ProjectTuple(row, inputNames)
+		if err != nil {
+			return nil, err
+		}
+		y, err := r.ProjectTuple(row, outputNames)
+		if err != nil {
+			return nil, err
+		}
+		table[relation.Encode(inSchema, x)] = y
+	}
+	fn := func(x relation.Tuple) relation.Tuple {
+		y, ok := table[relation.Encode(inSchema, x)]
+		if !ok {
+			panic(fmt.Sprintf("module %s: input %v not in table", name, x))
+		}
+		return y
+	}
+	m, err := New(name, inSchema.Attrs(), outSchema.Attrs(), fn)
+	if err != nil {
+		return nil, err
+	}
+	m.visibility = vis
+	return m, nil
+}

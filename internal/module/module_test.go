@@ -1,0 +1,342 @@
+package module
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/relation"
+)
+
+func TestNewValidation(t *testing.T) {
+	fn := func(x relation.Tuple) relation.Tuple { return relation.Tuple{0} }
+	cases := []struct {
+		name    string
+		modName string
+		in, out []relation.Attribute
+		fn      Func
+		wantErr bool
+	}{
+		{"ok", "m", relation.Bools("a"), relation.Bools("b"), fn, false},
+		{"empty name", "", relation.Bools("a"), relation.Bools("b"), fn, true},
+		{"no outputs", "m", relation.Bools("a"), nil, fn, true},
+		{"nil fn", "m", relation.Bools("a"), relation.Bools("b"), nil, true},
+		{"overlap", "m", relation.Bools("a"), relation.Bools("a"), fn, true},
+		{"no inputs ok", "m", nil, relation.Bools("b"), fn, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.modName, tc.in, tc.out, tc.fn)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New err = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestFig1M1MatchesPaperTable(t *testing.T) {
+	m := Fig1M1()
+	want := map[[2]relation.Value][3]relation.Value{
+		{0, 0}: {0, 1, 1},
+		{0, 1}: {1, 1, 0},
+		{1, 0}: {1, 1, 0},
+		{1, 1}: {1, 0, 1},
+	}
+	for x, y := range want {
+		got := m.MustEval(relation.Tuple{x[0], x[1]})
+		if got[0] != y[0] || got[1] != y[1] || got[2] != y[2] {
+			t.Errorf("m1(%v) = %v, want %v", x, got, y)
+		}
+	}
+}
+
+func TestFig1WorkflowRowsConsistent(t *testing.T) {
+	// The executions in Figure 1(b) must be reproduced by composing
+	// m1, m2, m3 on each initial input.
+	m1, m2, m3 := Fig1M1(), Fig1M2(), Fig1M3()
+	want := [][]relation.Value{
+		{0, 0, 0, 1, 1, 1, 0},
+		{0, 1, 1, 1, 0, 0, 1},
+		{1, 0, 1, 1, 0, 0, 1},
+		{1, 1, 1, 0, 1, 1, 1},
+	}
+	for _, row := range want {
+		o1 := m1.MustEval(relation.Tuple{row[0], row[1]})
+		o2 := m2.MustEval(relation.Tuple{o1[0], o1[1]})
+		o3 := m3.MustEval(relation.Tuple{o1[1], o1[2]})
+		got := []relation.Value{row[0], row[1], o1[0], o1[1], o1[2], o2[0], o3[0]}
+		for i := range row {
+			if got[i] != row[i] {
+				t.Fatalf("execution for input (%d,%d): got %v want %v", row[0], row[1], got, row)
+			}
+		}
+	}
+}
+
+func TestEvalValidatesInput(t *testing.T) {
+	m := Fig1M1()
+	if _, err := m.Eval(relation.Tuple{0}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := m.Eval(relation.Tuple{0, 3}); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+}
+
+func TestEvalValidatesOutput(t *testing.T) {
+	bad := MustNew("bad", relation.Bools("a"), relation.Bools("b"),
+		func(relation.Tuple) relation.Tuple { return relation.Tuple{5} })
+	if _, err := bad.Eval(relation.Tuple{0}); err == nil {
+		t.Error("out-of-domain output accepted")
+	}
+	short := MustNew("short", relation.Bools("a"), relation.Bools("b", "c"),
+		func(relation.Tuple) relation.Tuple { return relation.Tuple{0} })
+	if _, err := short.Eval(relation.Tuple{0}); err == nil {
+		t.Error("short output accepted")
+	}
+}
+
+func TestRelationMatchesFigure1c(t *testing.T) {
+	m := Fig1M1()
+	r := m.Relation()
+	want := relation.MustFromRows(
+		relation.MustSchema(relation.Bools("a1", "a2", "a3", "a4", "a5")...),
+		[][]relation.Value{
+			{0, 0, 0, 1, 1},
+			{0, 1, 1, 1, 0},
+			{1, 0, 1, 1, 0},
+			{1, 1, 1, 0, 1},
+		})
+	if !r.Equal(want) {
+		t.Fatalf("m1 relation =\n%v\nwant\n%v", r, want)
+	}
+}
+
+func TestRelationOver(t *testing.T) {
+	m := Fig1M1()
+	r, err := m.RelationOver([]relation.Tuple{{0, 0}, {1, 1}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("partial relation size = %d, want 2", r.Len())
+	}
+	if _, err := m.RelationOver([]relation.Tuple{{9, 9}}); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+func TestFromRelationRoundTrip(t *testing.T) {
+	m := Fig1M1()
+	r := m.Relation()
+	m2, err := FromRelation("copy", r, m.InputNames(), m.OutputNames(), Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relation.EachTuple(m.InputSchema(), func(x relation.Tuple) bool {
+		if !m.MustEval(x).Equal(m2.MustEval(x)) {
+			t.Errorf("table module disagrees at %v", x)
+		}
+		return true
+	})
+	if !m2.Relation().Equal(r) {
+		t.Error("rematerialized relation differs")
+	}
+}
+
+func TestFromRelationRejectsFDViolation(t *testing.T) {
+	s := relation.MustSchema(relation.Bools("x", "y")...)
+	r := relation.MustFromRows(s, [][]relation.Value{{0, 0}, {0, 1}})
+	if _, err := FromRelation("bad", r, []string{"x"}, []string{"y"}, Private); err == nil {
+		t.Error("FD violation accepted")
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	m := Fig1M1()
+	if m.Visibility() != Private {
+		t.Error("default visibility not private")
+	}
+	p := m.AsPublic()
+	if p.Visibility() != Public || m.Visibility() != Private {
+		t.Error("AsPublic did not copy")
+	}
+	if p.AsPrivate().Visibility() != Private {
+		t.Error("AsPrivate failed")
+	}
+	if Public.String() != "public" || Private.String() != "private" {
+		t.Error("Visibility.String wrong")
+	}
+}
+
+func TestIdentityAndComplementAreOneToOne(t *testing.T) {
+	id := Identity("id", []string{"x1", "x2", "x3"}, []string{"y1", "y2", "y3"})
+	if !id.IsOneToOne() {
+		t.Error("identity not one-one")
+	}
+	comp := Complement("neg", []string{"x1", "x2"}, []string{"y1", "y2"})
+	if !comp.IsOneToOne() {
+		t.Error("complement not one-one")
+	}
+	got := comp.MustEval(relation.Tuple{1, 0})
+	if !got.Equal(relation.Tuple{0, 1}) {
+		t.Errorf("complement(1,0) = %v", got)
+	}
+}
+
+func TestConstantIsNotOneToOne(t *testing.T) {
+	c := Constant("c", relation.Bools("x1", "x2"), relation.Bools("y"), relation.Tuple{1})
+	if c.IsOneToOne() {
+		t.Error("constant reported one-one")
+	}
+	if got := c.MustEval(relation.Tuple{0, 1}); !got.Equal(relation.Tuple{1}) {
+		t.Errorf("constant eval = %v", got)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	m := Majority("maj", []string{"x1", "x2", "x3", "x4"}, "y")
+	cases := map[[4]relation.Value]relation.Value{
+		{0, 0, 0, 0}: 0,
+		{1, 0, 0, 0}: 0,
+		{1, 1, 0, 0}: 1, // >= k = 2 ones
+		{1, 1, 1, 1}: 1,
+	}
+	for x, want := range cases {
+		got := m.MustEval(relation.Tuple{x[0], x[1], x[2], x[3]})
+		if got[0] != want {
+			t.Errorf("maj(%v) = %d, want %d", x, got[0], want)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	m := Threshold("t", []string{"x1", "x2", "x3"}, "y", 2)
+	if m.MustEval(relation.Tuple{1, 0, 0})[0] != 0 {
+		t.Error("threshold fired below t")
+	}
+	if m.MustEval(relation.Tuple{1, 1, 0})[0] != 1 {
+		t.Error("threshold silent at t")
+	}
+}
+
+func TestGates(t *testing.T) {
+	in := []string{"x", "y"}
+	if And("g", in, "z").MustEval(relation.Tuple{1, 1})[0] != 1 {
+		t.Error("and(1,1) != 1")
+	}
+	if And("g", in, "z").MustEval(relation.Tuple{1, 0})[0] != 0 {
+		t.Error("and(1,0) != 0")
+	}
+	if Or("g", in, "z").MustEval(relation.Tuple{0, 0})[0] != 0 {
+		t.Error("or(0,0) != 0")
+	}
+	if Or("g", in, "z").MustEval(relation.Tuple{0, 1})[0] != 1 {
+		t.Error("or(0,1) != 1")
+	}
+	if Xor("g", in, "z").MustEval(relation.Tuple{1, 1})[0] != 0 {
+		t.Error("xor(1,1) != 0")
+	}
+	if Nand("g", in, "z").MustEval(relation.Tuple{1, 1})[0] != 0 {
+		t.Error("nand(1,1) != 0")
+	}
+	if Not("g", "x", "z").MustEval(relation.Tuple{0})[0] != 1 {
+		t.Error("not(0) != 1")
+	}
+}
+
+func TestAdder(t *testing.T) {
+	m := Adder("add", []string{"x1", "x0"}, []string{"y1", "y0"}, []string{"s2", "s1", "s0"})
+	// 3 + 2 = 5 = 101
+	got := m.MustEval(relation.Tuple{1, 1, 1, 0})
+	if !got.Equal(relation.Tuple{1, 0, 1}) {
+		t.Errorf("3+2 = %v, want [1 0 1]", got)
+	}
+	// 0 + 0 = 0
+	got = m.MustEval(relation.Tuple{0, 0, 0, 0})
+	if !got.Equal(relation.Tuple{0, 0, 0}) {
+		t.Errorf("0+0 = %v", got)
+	}
+}
+
+func TestPermutationIsOneToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		p := Permutation("p", []string{"x1", "x2", "x3"}, []string{"y1", "y2", "y3"}, rng)
+		if !p.IsOneToOne() {
+			t.Fatal("random permutation not one-one")
+		}
+	}
+}
+
+func TestRandomModuleDeterministicGivenSeed(t *testing.T) {
+	in := relation.Bools("x1", "x2")
+	out := relation.Bools("y1", "y2")
+	a := Random("r", in, out, rand.New(rand.NewSource(42)))
+	b := Random("r", in, out, rand.New(rand.NewSource(42)))
+	if !a.Relation().Equal(b.Relation()) {
+		t.Error("same seed produced different random modules")
+	}
+}
+
+func TestWithFuncAndName(t *testing.T) {
+	m := Fig1M1()
+	g := m.WithFunc(func(x relation.Tuple) relation.Tuple { return relation.Tuple{0, 0, 0} })
+	if g.MustEval(relation.Tuple{1, 1}).Equal(m.MustEval(relation.Tuple{1, 1})) {
+		t.Error("WithFunc did not replace functionality")
+	}
+	if g.Name() != m.Name() {
+		t.Error("WithFunc changed name")
+	}
+	if m.WithName("zz").Name() != "zz" {
+		t.Error("WithName failed")
+	}
+}
+
+func TestStringAndAccessors(t *testing.T) {
+	m := Fig1M1()
+	if m.Arity() != 5 {
+		t.Errorf("arity = %d, want 5", m.Arity())
+	}
+	if got := m.AttrNames(); len(got) != 5 || got[0] != "a1" || got[4] != "a5" {
+		t.Errorf("AttrNames = %v", got)
+	}
+	if n, ok := m.InputDomainSize(); !ok || n != 4 {
+		t.Errorf("InputDomainSize = %d,%v", n, ok)
+	}
+	if !strings.Contains(m.String(), "m1") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+// Property: every materialized module relation satisfies the FD I -> O and
+// has one row per input.
+func TestQuickRelationSatisfiesFD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random("r", relation.Bools("x1", "x2", "x3"), relation.Bools("y1", "y2"), rng)
+		r := m.Relation()
+		ok, err := r.SatisfiesFD(m.InputNames(), m.OutputNames())
+		return err == nil && ok && r.Len() == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromRelation inverts Relation for random modules.
+func TestQuickTableRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Random("r", relation.Bools("x1", "x2"), relation.Bools("y1"), rng)
+		m2, err := FromRelation("copy", m.Relation(), m.InputNames(), m.OutputNames(), Private)
+		if err != nil {
+			return false
+		}
+		return m2.Relation().Equal(m.Relation())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

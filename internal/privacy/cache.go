@@ -1,0 +1,100 @@
+package privacy
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"secureview/internal/relation"
+)
+
+// Cache memoizes standalone analyses across workflows. The paper's section
+// 3.2 remark motivates it directly: "a given module is often used in many
+// workflows. For example, sequence comparison modules, like BLAST or FASTA,
+// are used in many different biological workflows... The effort invested in
+// deriving safe subsets for a module is thus amortized over all uses."
+//
+// Entries are keyed by a fingerprint of the module's functionality — the
+// canonical form of its relation and the attribute split — together with Γ,
+// so renamed copies of the same function share an entry only when their
+// attribute names coincide (names matter: the safe subsets are name sets).
+// Cache is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string][]relation.NameSet
+	hits    int
+	misses  int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string][]relation.NameSet)}
+}
+
+// fingerprint hashes the module view's schema, attribute split, sorted rows
+// and Γ.
+func fingerprint(mv ModuleView, gamma uint64) string {
+	h := sha256.New()
+	for _, n := range mv.Inputs {
+		fmt.Fprintf(h, "i:%s;", n)
+	}
+	for _, n := range mv.Outputs {
+		fmt.Fprintf(h, "o:%s;", n)
+	}
+	for i := 0; i < mv.Rel.Schema().Len(); i++ {
+		a := mv.Rel.Schema().Attr(i)
+		fmt.Fprintf(h, "d:%s=%d;", a.Name, a.Domain)
+	}
+	var buf [8]byte
+	for _, row := range mv.Rel.SortedRows() {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		h.Write([]byte{0xff})
+	}
+	binary.LittleEndian.PutUint64(buf[:], gamma)
+	h.Write(buf[:])
+	return string(h.Sum(nil))
+}
+
+// MinimalSafeHiddenSets returns the module view's minimal safe hidden sets,
+// computing and storing them on first use.
+func (c *Cache) MinimalSafeHiddenSets(mv ModuleView, gamma uint64) ([]relation.NameSet, error) {
+	key := fingerprint(mv, gamma)
+	c.mu.Lock()
+	cached, ok := c.entries[key]
+	if ok {
+		c.hits++
+		c.mu.Unlock()
+		return cached, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compute outside the lock; concurrent misses on the same key do
+	// redundant work but stay correct (last write wins with equal value).
+	sets, err := mv.MinimalSafeHiddenSets(gamma)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[key] = sets
+	c.mu.Unlock()
+	return sets, nil
+}
+
+// Stats returns cumulative cache hits and misses.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of distinct cached analyses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

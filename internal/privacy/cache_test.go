@@ -1,0 +1,123 @@
+package privacy
+
+import (
+	"sync"
+	"testing"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+)
+
+func TestCacheHitsAcrossUses(t *testing.T) {
+	c := NewCache()
+	mv := NewModuleView(module.Fig1M1())
+	first, err := c.MinimalSafeHiddenSets(mv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.MinimalSafeHiddenSets(mv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatal("cached result differs")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("entries = %d, want 1", c.Len())
+	}
+	// Matches the uncached computation.
+	direct, err := mv.MinimalSafeHiddenSets(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(first) {
+		t.Fatal("cache changed the result")
+	}
+}
+
+func TestCacheDistinguishesGamma(t *testing.T) {
+	c := NewCache()
+	mv := NewModuleView(module.Fig1M1())
+	if _, err := c.MinimalSafeHiddenSets(mv, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MinimalSafeHiddenSets(mv, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("entries = %d, want 2 (different Γ)", c.Len())
+	}
+}
+
+func TestCacheDistinguishesFunctionality(t *testing.T) {
+	c := NewCache()
+	a := NewModuleView(module.And("g", []string{"x", "y"}, "z"))
+	b := NewModuleView(module.Or("g", []string{"x", "y"}, "z"))
+	if _, err := c.MinimalSafeHiddenSets(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MinimalSafeHiddenSets(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("entries = %d, want 2 (different functions)", c.Len())
+	}
+	// Same function under a second view object hits.
+	a2 := NewModuleView(module.And("g", []string{"x", "y"}, "z"))
+	if _, err := c.MinimalSafeHiddenSets(a2, 2); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := c.Stats()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+func TestCacheDistinguishesAttributeNames(t *testing.T) {
+	// Safe subsets are name sets, so renamed attributes must not share an
+	// entry.
+	c := NewCache()
+	a := NewModuleView(module.And("g", []string{"x", "y"}, "z"))
+	b := NewModuleView(module.And("g", []string{"p", "q"}, "r"))
+	if _, err := c.MinimalSafeHiddenSets(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MinimalSafeHiddenSets(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("entries = %d, want 2 (renamed attributes)", c.Len())
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	c := NewCache()
+	mv := NewModuleView(module.Fig1M1())
+	var wg sync.WaitGroup
+	results := make([][]relation.NameSet, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sets, err := c.MinimalSafeHiddenSets(mv, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = sets
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatal("concurrent results differ")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("entries = %d, want 1", c.Len())
+	}
+}

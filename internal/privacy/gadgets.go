@@ -1,0 +1,304 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+	"secureview/internal/sat"
+)
+
+// This file implements the adversarial constructions from the lower-bound
+// proofs of section 3 / appendix A: the set-disjointness data-supplier
+// gadget (Theorem 1), the UNSAT gadget (Theorem 2), and the exponential
+// Safe-View-oracle adversary (Theorem 3). They serve as workload generators
+// for the communication- and query-complexity experiments.
+
+// DataSupplier supplies module outputs on demand and counts calls,
+// modelling the data supplier of Theorem 1.
+type DataSupplier struct {
+	m     *module.Module
+	calls int
+}
+
+// NewDataSupplier wraps a module.
+func NewDataSupplier(m *module.Module) *DataSupplier { return &DataSupplier{m: m} }
+
+// Eval returns m(x), counting the call.
+func (d *DataSupplier) Eval(x relation.Tuple) (relation.Tuple, error) {
+	d.calls++
+	return d.m.Eval(x)
+}
+
+// Calls returns the number of supplier calls made.
+func (d *DataSupplier) Calls() int { return d.calls }
+
+// Module returns the wrapped module (for schema access; evaluating it
+// directly bypasses counting).
+func (d *DataSupplier) Module() *module.Module { return d.m }
+
+// StreamingSafety decides whether the visible set is safe for Γ by pulling
+// rows from the supplier one input at a time. When the visible set contains
+// no input attributes (a single group, as in the Theorem 1 gadget), safety
+// becomes certain as soon as enough distinct visible outputs have been
+// seen, and the decision exits early; an unsafe answer always requires
+// reading every row — the Ω(N) behaviour Theorem 1 proves unavoidable.
+// It returns the decision and the number of supplier calls consumed.
+func StreamingSafety(d *DataSupplier, inputs []relation.Tuple, visible relation.NameSet, gamma uint64) (bool, int, error) {
+	m := d.Module()
+	start := d.Calls()
+	var hiddenOut []string
+	for _, o := range m.OutputNames() {
+		if !visible.Has(o) {
+			hiddenOut = append(hiddenOut, o)
+		}
+	}
+	vol, ok := m.Schema().DomainProduct(hiddenOut)
+	if !ok {
+		vol = math.MaxUint64
+	}
+	need := uint64(1)
+	if vol < gamma {
+		// Distinct visible outputs required per group: ceil(gamma / vol).
+		need = (gamma + vol - 1) / vol
+	}
+	visIn := visible.FilterSorted(m.InputNames())
+	visOut := visible.FilterSorted(m.OutputNames())
+	singleGroup := len(visIn) == 0
+
+	inCols := make([]int, len(visIn))
+	for i, n := range visIn {
+		inCols[i] = m.InputSchema().IndexOf(n)
+	}
+	outCols := make([]int, len(visOut))
+	for i, n := range visOut {
+		outCols[i] = m.OutputSchema().IndexOf(n)
+	}
+	groups := make(map[string]map[string]struct{})
+	for _, x := range inputs {
+		y, err := d.Eval(x)
+		if err != nil {
+			return false, d.Calls() - start, err
+		}
+		gk := tupleKey(x, inCols)
+		ok := tupleKey(y, outCols)
+		set := groups[gk]
+		if set == nil {
+			set = make(map[string]struct{})
+			groups[gk] = set
+		}
+		set[ok] = struct{}{}
+		if singleGroup && uint64(len(set)) >= need {
+			return true, d.Calls() - start, nil
+		}
+	}
+	for _, set := range groups {
+		if uint64(len(set)) < need {
+			return false, d.Calls() - start, nil
+		}
+	}
+	return true, d.Calls() - start, nil
+}
+
+func tupleKey(t relation.Tuple, cols []int) string {
+	k := ""
+	for _, c := range cols {
+		k += fmt.Sprintf("%d,", t[c])
+	}
+	return k
+}
+
+// DisjointnessGadget is the Theorem 1 construction. Given two subsets A and
+// B of a universe of size n (as membership slices of length n), it builds
+// the module m(a, b, id) = a ∧ b together with the n+1 gadget inputs: row i
+// has (a,b) = (A[i], B[i]) and row n has (1, 0).
+//
+// Reproduction note: the paper states the visible set as {id, y}, but under
+// its own Definition 2 / Lemma 2 semantics a visible id pins the output of
+// every input, making that view unconditionally unsafe. The construction
+// works exactly as intended (safe for Γ=2 iff A ∩ B ≠ ∅, and deciding it
+// needs Ω(N) supplier calls) with id hidden, i.e. visible set {y}; we use
+// that corrected view, returned as the second value.
+func DisjointnessGadget(a, b []bool) (*module.Module, []relation.Tuple, relation.NameSet) {
+	if len(a) != len(b) {
+		panic("privacy: DisjointnessGadget needs |A| == |B|")
+	}
+	n := len(a)
+	in := []relation.Attribute{
+		{Name: "a", Domain: 2},
+		{Name: "b", Domain: 2},
+		{Name: "id", Domain: n + 1},
+	}
+	m := module.MustNew("disj", in, relation.Bools("y"),
+		func(x relation.Tuple) relation.Tuple {
+			return relation.Tuple{x[0] & x[1]}
+		})
+	inputs := make([]relation.Tuple, n+1)
+	for i := 0; i < n; i++ {
+		inputs[i] = relation.Tuple{b2i(a[i]), b2i(b[i]), i}
+	}
+	inputs[n] = relation.Tuple{1, 0, n}
+	return m, inputs, relation.NewNameSet("y")
+}
+
+func b2i(v bool) relation.Value {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// UnsatGadget is the Theorem 2 construction: for a CNF formula g over ℓ
+// variables, the module m(x1..xℓ, y) = ¬g(x) ∧ ¬y. The visible set
+// {x1..xℓ, z} (hiding only y) is safe for Γ = 2 iff g is unsatisfiable.
+func UnsatGadget(g *sat.CNF) (*module.Module, relation.NameSet) {
+	inNames := make([]string, g.Vars+1)
+	for i := 0; i < g.Vars; i++ {
+		inNames[i] = fmt.Sprintf("x%d", i+1)
+	}
+	inNames[g.Vars] = "y"
+	m := module.MustNew("unsat", relation.Bools(inNames...), relation.Bools("z"),
+		func(t relation.Tuple) relation.Tuple {
+			if !g.Eval(t[:g.Vars]) && t[g.Vars] == 0 {
+				return relation.Tuple{1}
+			}
+			return relation.Tuple{0}
+		})
+	visible := relation.NewNameSet("z")
+	for i := 0; i < g.Vars; i++ {
+		visible.Add(inNames[i])
+	}
+	return m, visible
+}
+
+// Theorem3Instance is the adversarial function pair of Theorem 3 over ℓ
+// boolean inputs (ℓ divisible by 4) and one boolean output y. Input costs
+// are 1, the output cost is ℓ, so any safe set within budget C = ℓ/2 keeps
+// y visible.
+type Theorem3Instance struct {
+	Ell int
+}
+
+// InputNames returns x1..xℓ.
+func (t Theorem3Instance) InputNames() []string {
+	names := make([]string, t.Ell)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i+1)
+	}
+	return names
+}
+
+// Costs returns the cost assignment of the proof: inputs 1, output ℓ.
+func (t Theorem3Instance) Costs() Costs {
+	c := Uniform(t.InputNames()...)
+	c["y"] = float64(t.Ell)
+	return c
+}
+
+// M1 returns the first adversary function: output 1 iff at least ℓ/4
+// inputs are 1. Its cheapest safe hidden set has cost > 3ℓ/4.
+func (t Theorem3Instance) M1() *module.Module {
+	return module.Threshold("thm3-m1", t.InputNames(), "y", t.Ell/4)
+}
+
+// M2 returns the second adversary function for a special set A of exactly
+// ℓ/2 input names: output 1 iff at least ℓ/4 inputs are 1 AND some input
+// outside A is 1. Hiding exactly the inputs outside A (cost ℓ/2) is safe.
+func (t Theorem3Instance) M2(special relation.NameSet) *module.Module {
+	if len(special) != t.Ell/2 {
+		panic(fmt.Sprintf("privacy: special set size %d, want %d", len(special), t.Ell/2))
+	}
+	names := t.InputNames()
+	inSpecial := make([]bool, t.Ell)
+	for i, n := range names {
+		inSpecial[i] = special.Has(n)
+	}
+	return module.BoolGate("thm3-m2", names, "y", func(x []relation.Value) relation.Value {
+		ones, outside := 0, false
+		for i, v := range x {
+			ones += v
+			if v == 1 && !inSpecial[i] {
+				outside = true
+			}
+		}
+		if ones >= t.Ell/4 && outside {
+			return 1
+		}
+		return 0
+	})
+}
+
+// AdversaryOracle answers Safe-View queries according to properties (P1)
+// and (P2) of the Theorem 3 proof, while tracking how much of the special-
+// set candidate space the queries have eliminated. It is consistent with M1
+// and with M2 for every special set not yet eliminated.
+type AdversaryOracle struct {
+	inst       Theorem3Instance
+	queries    int
+	eliminated float64 // upper bound on eliminated special-set candidates
+}
+
+// NewAdversaryOracle returns an adversary for ℓ inputs.
+func NewAdversaryOracle(ell int) *AdversaryOracle {
+	if ell%4 != 0 || ell < 4 {
+		panic("privacy: Theorem 3 adversary needs ℓ divisible by 4")
+	}
+	return &AdversaryOracle{inst: Theorem3Instance{Ell: ell}}
+}
+
+// IsSafe answers per (P1)/(P2): YES iff fewer than ℓ/4 input attributes are
+// visible. Queries with at least ℓ/4 visible inputs are answered NO and may
+// eliminate candidate special sets (those containing the visible inputs).
+func (a *AdversaryOracle) IsSafe(visible relation.NameSet) (bool, error) {
+	a.queries++
+	vis := 0
+	for _, n := range a.inst.InputNames() {
+		if visible.Has(n) {
+			vis++
+		}
+	}
+	if vis < a.inst.Ell/4 {
+		return true, nil
+	}
+	if vis <= a.inst.Ell/2 {
+		// A NO answer is inconsistent with special sets A ⊇ visible-inputs;
+		// at most C(ℓ - vis, ℓ/2 - vis) candidates die.
+		a.eliminated += binom(a.inst.Ell-vis, a.inst.Ell/2-vis)
+	}
+	return false, nil
+}
+
+// Queries returns the number of oracle calls answered.
+func (a *AdversaryOracle) Queries() int { return a.queries }
+
+// CandidateSpace returns C(ℓ, ℓ/2), the number of possible special sets.
+func (a *AdversaryOracle) CandidateSpace() float64 { return binom(a.inst.Ell, a.inst.Ell/2) }
+
+// RemainingCandidates returns a lower bound on the number of special sets
+// still consistent with every answer given so far. While this is positive,
+// no algorithm can distinguish M1 from all M2 variants.
+func (a *AdversaryOracle) RemainingCandidates() float64 {
+	r := a.CandidateSpace() - a.eliminated
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// QueryLowerBound returns the Theorem 3 bound C(ℓ,ℓ/2)/C(3ℓ/4,ℓ/4) >=
+// (4/3)^(ℓ/2) on the number of oracle calls needed to certify that no
+// special set exists.
+func QueryLowerBound(ell int) float64 {
+	return binom(ell, ell/2) / binom(3*ell/4, ell/4)
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return math.Exp(lg - lk - lnk)
+}

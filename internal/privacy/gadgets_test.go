@@ -1,0 +1,280 @@
+package privacy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/relation"
+	"secureview/internal/sat"
+)
+
+func membership(n int, members ...int) []bool {
+	s := make([]bool, n)
+	for _, i := range members {
+		s[i] = true
+	}
+	return s
+}
+
+// Theorem 1 semantics: the disjointness gadget's view is safe for Γ=2 iff
+// A ∩ B ≠ ∅.
+func TestDisjointnessGadgetSafety(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []bool
+		safe bool
+	}{
+		{"intersecting", membership(6, 0, 2, 4), membership(6, 2, 5), true},
+		{"disjoint", membership(6, 0, 1), membership(6, 3, 4), false},
+		{"empty sets", membership(6), membership(6), false},
+		{"full overlap", membership(4, 0, 1, 2, 3), membership(4, 0, 1, 2, 3), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, inputs, visible := DisjointnessGadget(tc.a, tc.b)
+			rel, err := m.RelationOver(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv := ModuleView{Rel: rel, Inputs: m.InputNames(), Outputs: m.OutputNames()}
+			safe, err := mv.IsSafe(visible, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if safe != tc.safe {
+				t.Errorf("safe = %v, want %v", safe, tc.safe)
+			}
+		})
+	}
+}
+
+// Property: gadget safety always equals non-disjointness.
+func TestQuickDisjointnessEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		a := make([]bool, n)
+		b := make([]bool, n)
+		intersect := false
+		for i := range a {
+			a[i] = rng.Intn(2) == 0
+			b[i] = rng.Intn(2) == 0
+			if a[i] && b[i] {
+				intersect = true
+			}
+		}
+		m, inputs, visible := DisjointnessGadget(a, b)
+		rel, err := m.RelationOver(inputs)
+		if err != nil {
+			return false
+		}
+		mv := ModuleView{Rel: rel, Inputs: m.InputNames(), Outputs: m.OutputNames()}
+		safe, err := mv.IsSafe(visible, 2)
+		return err == nil && safe == intersect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 1 communication behaviour: an unsafe (disjoint) instance forces
+// the streaming checker to read all N+1 rows; a safe instance with an early
+// intersection element exits early.
+func TestStreamingSafetyCallCounts(t *testing.T) {
+	n := 50
+	// Disjoint: must read everything.
+	m, inputs, visible := DisjointnessGadget(membership(n, 0, 1, 2), membership(n, 10, 11))
+	d := NewDataSupplier(m)
+	safe, calls, err := StreamingSafety(d, inputs, visible, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Error("disjoint instance reported safe")
+	}
+	if calls != n+1 {
+		t.Errorf("disjoint instance read %d rows, want %d", calls, n+1)
+	}
+	// Intersection at position 3: both outputs seen by row 4 at the latest
+	// (rows 0..2 give y=0 or 1 depending on membership; row 3 gives y=1).
+	m2, inputs2, visible2 := DisjointnessGadget(membership(n, 3), membership(n, 3))
+	d2 := NewDataSupplier(m2)
+	safe2, calls2, err := StreamingSafety(d2, inputs2, visible2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe2 {
+		t.Error("intersecting instance reported unsafe")
+	}
+	if calls2 > 5 {
+		t.Errorf("early exit failed: %d calls", calls2)
+	}
+}
+
+// Theorem 2 semantics: the UNSAT gadget's view is safe for Γ=2 iff the
+// formula is unsatisfiable.
+func TestUnsatGadget(t *testing.T) {
+	t.Run("contradiction is safe", func(t *testing.T) {
+		m, visible := UnsatGadget(sat.Contradiction(4))
+		mv := NewModuleView(m)
+		safe, err := mv.IsSafe(visible, 2)
+		if err != nil || !safe {
+			t.Fatalf("safe=%v err=%v, want true", safe, err)
+		}
+	})
+	t.Run("tautology is unsafe", func(t *testing.T) {
+		m, visible := UnsatGadget(sat.Tautology(4))
+		mv := NewModuleView(m)
+		safe, err := mv.IsSafe(visible, 2)
+		if err != nil || safe {
+			t.Fatalf("safe=%v err=%v, want false", safe, err)
+		}
+	})
+}
+
+// Property: gadget safety equals DPLL unsatisfiability on random 3-CNFs.
+func TestQuickUnsatGadgetEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := sat.Random3CNF(5, 3+rng.Intn(25), rng)
+		m, visible := UnsatGadget(g)
+		mv := NewModuleView(m)
+		safe, err := mv.IsSafe(visible, 2)
+		if err != nil {
+			return false
+		}
+		return safe == !g.Satisfiable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 3 consistency: properties (P1) and (P2) hold for the real modules
+// M1 and M2 with ℓ = 8 and Γ = 2 (output y always visible).
+func TestTheorem3AdversaryConsistency(t *testing.T) {
+	inst := Theorem3Instance{Ell: 8}
+	names := inst.InputNames()
+	special := relation.NewNameSet(names[0], names[1], names[2], names[3])
+	m1 := NewModuleView(inst.M1())
+	m2 := NewModuleView(inst.M2(special))
+
+	// Enumerate all visible input subsets (y visible).
+	for mask := 0; mask < 1<<8; mask++ {
+		visible := relation.NewNameSet("y")
+		size := 0
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				visible.Add(n)
+				size++
+			}
+		}
+		visInputs := visible.Minus(relation.NewNameSet("y"))
+		safe1, err := m1.IsSafe(visible, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		safe2, err := m2.IsSafe(visible, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case size < 2: // |V| < ℓ/4: both answer safe (P1)
+			if !safe1 || !safe2 {
+				t.Fatalf("P1 violated at %v: m1=%v m2=%v", visInputs, safe1, safe2)
+			}
+		case visInputs.SubsetOf(special): // the special exception for m2
+			if safe1 {
+				t.Fatalf("m1 safe at %v (size %d)", visInputs, size)
+			}
+			if !safe2 {
+				t.Fatalf("m2 unsafe at special subset %v", visInputs)
+			}
+		default: // (P2)
+			if safe1 || safe2 {
+				t.Fatalf("P2 violated at %v: m1=%v m2=%v", visInputs, safe1, safe2)
+			}
+		}
+	}
+}
+
+// The two adversary functions have the claimed optimal costs: m2 has a safe
+// subset of cost ℓ/2 while m1's cheapest safe subset costs more than 3ℓ/4
+// — the gap the oracle lower bound exploits. (ℓ = 8: 4 vs > 6.)
+func TestTheorem3CostGap(t *testing.T) {
+	inst := Theorem3Instance{Ell: 8}
+	names := inst.InputNames()
+	special := relation.NewNameSet(names[0], names[1], names[2], names[3])
+	costs := inst.Costs()
+
+	res1, err := NewModuleView(inst.M1()).MinCostSafeSubset(costs, 2)
+	if err != nil || !res1.Found {
+		t.Fatal(err)
+	}
+	if res1.Cost < 3.0*8/4+1 { // integral costs: > 6 means >= 7
+		t.Errorf("m1 min cost = %v, want >= 7", res1.Cost)
+	}
+	res2, err := NewModuleView(inst.M2(special)).MinCostSafeSubset(costs, 2)
+	if err != nil || !res2.Found {
+		t.Fatal(err)
+	}
+	if res2.Cost != 4 {
+		t.Errorf("m2 min cost = %v, want ℓ/2 = 4", res2.Cost)
+	}
+}
+
+func TestAdversaryOracleAccounting(t *testing.T) {
+	a := NewAdversaryOracle(16)
+	if a.CandidateSpace() < 12000 || a.CandidateSpace() > 13000 {
+		t.Errorf("C(16,8) = %v, want 12870", a.CandidateSpace())
+	}
+	// A small visible set answers YES without eliminating candidates.
+	safe, _ := a.IsSafe(relation.NewNameSet("x1", "x2", "x3"))
+	if !safe {
+		t.Error("small visible set answered NO")
+	}
+	before := a.RemainingCandidates()
+	// A size-4 (= ℓ/4) visible set answers NO and eliminates candidates.
+	safe, _ = a.IsSafe(relation.NewNameSet("x1", "x2", "x3", "x4"))
+	if safe {
+		t.Error("ℓ/4 visible set answered YES")
+	}
+	if a.RemainingCandidates() >= before {
+		t.Error("NO answer did not reduce candidate bound")
+	}
+	if a.Queries() != 2 {
+		t.Errorf("queries = %d, want 2", a.Queries())
+	}
+	// The lower bound formula grows like (4/3)^(ℓ/2).
+	if QueryLowerBound(16) <= QueryLowerBound(8) {
+		t.Error("query lower bound not increasing in ℓ")
+	}
+	if lb := QueryLowerBound(8); lb < 3 { // (4/3)^4 ≈ 3.16
+		t.Errorf("QueryLowerBound(8) = %v, want >= 3", lb)
+	}
+}
+
+// Driving the exhaustive oracle search against the adversary shows the
+// exponential blow-up: certifying no budget-ℓ/2 solution exists for m1
+// consumes a number of calls that grows with 2^ℓ.
+func TestOracleSearchAgainstAdversary(t *testing.T) {
+	prev := 0
+	for _, ell := range []int{4, 8, 12} {
+		inst := Theorem3Instance{Ell: ell}
+		adv := NewAdversaryOracle(ell)
+		oracle := &CountingOracle{Inner: adv}
+		attrs := append(inst.InputNames(), "y")
+		hidden, _, calls, err := MinCostSafeSubsetWithOracle(attrs, inst.Costs(), oracle, float64(ell)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hidden != nil {
+			t.Errorf("ℓ=%d: adversary conceded a solution %v", ell, hidden)
+		}
+		if calls <= prev {
+			t.Errorf("ℓ=%d: calls %d did not grow (prev %d)", ell, calls, prev)
+		}
+		prev = calls
+	}
+}

@@ -1,0 +1,123 @@
+package privacy
+
+import (
+	"fmt"
+
+	"secureview/internal/relation"
+)
+
+// This file explores the paper's first future-work direction (section 6):
+// "a finer privacy analysis may be possible if one knows what kind of prior
+// knowledge the user has ... the effect of knowledge of a possibly non-
+// uniform prior distribution on input/output values should be explored."
+//
+// Γ-privacy guarantees the adversary cannot guess m(x) with probability
+// above 1/Γ *under a uniform prior over the possible worlds*. With a
+// non-uniform prior over hidden attribute values, the posterior
+// concentrates and the effective guessing probability can exceed 1/Γ even
+// though |OUT| >= Γ. GuessProbability quantifies that.
+
+// Prior assigns, per attribute, a probability distribution over its domain
+// values. Attributes absent from the map are treated as uniform.
+type Prior map[string][]float64
+
+// UniformPrior returns an explicit uniform prior for the given attributes
+// of the schema.
+func UniformPrior(s *relation.Schema, names ...string) Prior {
+	p := make(Prior, len(names))
+	for _, n := range names {
+		i := s.IndexOf(n)
+		if i < 0 {
+			continue
+		}
+		d := s.Attr(i).Domain
+		dist := make([]float64, d)
+		for v := range dist {
+			dist[v] = 1 / float64(d)
+		}
+		p[n] = dist
+	}
+	return p
+}
+
+// Validate checks that every distribution matches its attribute's domain
+// and sums to 1 (within tolerance).
+func (p Prior) Validate(s *relation.Schema) error {
+	for name, dist := range p {
+		i := s.IndexOf(name)
+		if i < 0 {
+			return fmt.Errorf("privacy: prior names unknown attribute %q", name)
+		}
+		if len(dist) != s.Attr(i).Domain {
+			return fmt.Errorf("privacy: prior for %q has %d entries, domain is %d",
+				name, len(dist), s.Attr(i).Domain)
+		}
+		sum := 0.0
+		for _, v := range dist {
+			if v < 0 {
+				return fmt.Errorf("privacy: prior for %q has negative mass", name)
+			}
+			sum += v
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			return fmt.Errorf("privacy: prior for %q sums to %v", name, sum)
+		}
+	}
+	return nil
+}
+
+// weight returns the prior probability of value v for the named attribute
+// with the given domain (uniform when the prior has no entry).
+func (p Prior) weight(name string, domain int, v relation.Value) float64 {
+	dist, ok := p[name]
+	if !ok {
+		return 1 / float64(domain)
+	}
+	return dist[v]
+}
+
+// GuessProbability returns the adversary's best posterior probability of
+// guessing m(x)'s true value, given the visible view and a prior over
+// hidden OUTPUT attribute values (hidden output coordinates are assumed
+// independent under the prior; the visible coordinates are observed, and
+// the candidate set is OUT_{x,m}).
+//
+// Under a uniform prior this equals 1/|OUT_x| <= 1/Γ, recovering the
+// paper's guarantee; skewed priors push it up, demonstrating the section 6
+// caveat. The result is an upper bound on guessing success for priors that
+// factor over hidden output attributes.
+func (mv ModuleView) GuessProbability(visible relation.NameSet, x relation.Tuple, prior Prior) (float64, error) {
+	outSchema, err := mv.Rel.Schema().Project(mv.Outputs)
+	if err != nil {
+		return 0, err
+	}
+	if err := prior.Validate(outSchema); err != nil {
+		return 0, err
+	}
+	out, err := mv.OutSet(visible, x)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) == 0 {
+		return 0, fmt.Errorf("privacy: empty OUT set")
+	}
+	total := 0.0
+	best := 0.0
+	for _, y := range out {
+		w := 1.0
+		for i, name := range mv.Outputs {
+			if visible.Has(name) {
+				continue // observed, not weighted
+			}
+			w *= prior.weight(name, outSchema.Attr(i).Domain, y[i])
+		}
+		total += w
+		if w > best {
+			best = w
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("privacy: prior assigns zero mass to every candidate")
+	}
+	return best / total, nil
+}

@@ -1,0 +1,117 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+)
+
+func TestUniformPriorRecoversOneOverGamma(t *testing.T) {
+	mv := NewModuleView(module.Fig1M1())
+	v := relation.NewNameSet("a1", "a3", "a5") // |OUT| = 4 for every input
+	x := relation.Tuple{0, 0}
+	prior := UniformPrior(relation.MustSchema(relation.Bools("a3", "a4", "a5")...), "a4")
+	got, err := mv.GuessProbability(v, x, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("uniform guess probability = %v, want 1/4", got)
+	}
+	// Empty prior map (implicit uniform) agrees.
+	got2, err := mv.GuessProbability(v, x, Prior{})
+	if err != nil || math.Abs(got2-0.25) > 1e-12 {
+		t.Fatalf("implicit uniform = %v (%v), want 1/4", got2, err)
+	}
+}
+
+func TestSkewedPriorBreaksGamma(t *testing.T) {
+	// Section 6 caveat: with a skewed prior on the hidden output a4, the
+	// adversary's best guess exceeds 1/Γ = 1/4 even though |OUT| = 4.
+	mv := NewModuleView(module.Fig1M1())
+	v := relation.NewNameSet("a1", "a3", "a5")
+	x := relation.Tuple{0, 0}
+	prior := Prior{"a4": []float64{0.9, 0.1}}
+	got, err := mv.GuessProbability(v, x, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0.25 {
+		t.Fatalf("skewed prior guess probability = %v, want > 1/4", got)
+	}
+	// OUT for x=(0,0) has two candidates with a4=0 and two with a4=1, each
+	// visible pattern distinct, so the best candidate carries 0.9/2 of the
+	// mass: 0.45.
+	if math.Abs(got-0.45) > 1e-9 {
+		t.Fatalf("guess probability = %v, want 0.45", got)
+	}
+}
+
+func TestPriorValidate(t *testing.T) {
+	s := relation.MustSchema(relation.Bools("y1", "y2")...)
+	cases := []struct {
+		name    string
+		p       Prior
+		wantErr bool
+	}{
+		{"ok", Prior{"y1": {0.3, 0.7}}, false},
+		{"unknown attr", Prior{"zz": {0.5, 0.5}}, true},
+		{"wrong arity", Prior{"y1": {1}}, true},
+		{"negative", Prior{"y1": {-0.5, 1.5}}, true},
+		{"not normalized", Prior{"y1": {0.5, 0.4}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(s); (err != nil) != tc.wantErr {
+				t.Errorf("Validate err = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGuessProbabilityZeroMass(t *testing.T) {
+	mv := NewModuleView(module.Fig1M1())
+	v := relation.NewNameSet("a1", "a3", "a5")
+	prior := Prior{"a4": []float64{1, 0}}
+	// Mass zero only on a4=1 candidates; total mass positive, so fine.
+	if _, err := mv.GuessProbability(v, relation.Tuple{0, 0}, prior); err != nil {
+		t.Fatalf("partial-support prior rejected: %v", err)
+	}
+}
+
+// Property: the uniform prior always yields exactly 1/|OUT|, and any prior
+// yields a probability in [1/|OUT|, 1].
+func TestQuickGuessProbabilityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := module.Random("m", relation.Bools("x1", "x2"), relation.Bools("y1", "y2"), rng)
+		mv := NewModuleView(m)
+		visible := relation.NewNameSet("x1", "x2")
+		if rng.Intn(2) == 0 {
+			visible.Add("y1")
+		}
+		x := relation.Tuple{rng.Intn(2), rng.Intn(2)}
+		n, err := mv.OutSize(visible, x)
+		if err != nil || n == 0 {
+			return false
+		}
+		uni, err := mv.GuessProbability(visible, x, Prior{})
+		if err != nil || math.Abs(uni-1/float64(n)) > 1e-9 {
+			return false
+		}
+		a := 0.1 + 0.8*rng.Float64()
+		skew := Prior{"y2": []float64{a, 1 - a}}
+		got, err := mv.GuessProbability(visible, x, skew)
+		if err != nil {
+			return false
+		}
+		return got >= 1/float64(n)-1e-9 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"secureview/internal/relation"
+)
+
+// Costs assigns a hiding penalty to each attribute. Missing attributes are
+// treated as free (cost 0).
+type Costs map[string]float64
+
+// Of returns the cost of one attribute.
+func (c Costs) Of(name string) float64 { return c[name] }
+
+// Sum returns the total cost of a hidden set.
+func (c Costs) Sum(hidden relation.NameSet) float64 {
+	total := 0.0
+	for n := range hidden {
+		total += c[n]
+	}
+	return total
+}
+
+// Uniform returns unit costs for the given attributes.
+func Uniform(names ...string) Costs {
+	c := make(Costs, len(names))
+	for _, n := range names {
+		c[n] = 1
+	}
+	return c
+}
+
+// Attrs returns the module view's attributes, inputs then outputs.
+func (mv ModuleView) Attrs() []string {
+	return append(append([]string{}, mv.Inputs...), mv.Outputs...)
+}
+
+// SearchResult is the outcome of a standalone Secure-View search.
+type SearchResult struct {
+	// Hidden is the minimum-cost hidden set V̄; Visible is its complement.
+	Hidden  relation.NameSet
+	Visible relation.NameSet
+	// Cost is c(V̄).
+	Cost float64
+	// Found is false when no subset (not even hiding everything) is safe,
+	// which happens when Γ exceeds the module's output-range size.
+	Found bool
+	// Checked counts safety tests performed (2^k for the brute force).
+	Checked int
+}
+
+// MinCostSafeSubset solves the standalone Secure-View problem by brute
+// force over all 2^k attribute subsets (the paper proves 2^Ω(k) is required
+// in the worst case, Theorem 3; k is small in practice, section 3.2).
+func (mv ModuleView) MinCostSafeSubset(costs Costs, gamma uint64) (SearchResult, error) {
+	attrs := mv.Attrs()
+	k := len(attrs)
+	if k > 24 {
+		return SearchResult{}, fmt.Errorf("privacy: %d attributes too many for brute force", k)
+	}
+	best := SearchResult{Cost: math.Inf(1)}
+	for mask := 0; mask < 1<<k; mask++ {
+		hidden := make(relation.NameSet)
+		cost := 0.0
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				hidden.Add(a)
+				cost += costs.Of(a)
+			}
+		}
+		if cost >= best.Cost {
+			best.Checked++
+			continue
+		}
+		visible := relation.NewNameSet(attrs...).Minus(hidden)
+		safe, err := mv.IsSafe(visible, gamma)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		best.Checked++
+		if safe {
+			best.Hidden = hidden
+			best.Visible = visible
+			best.Cost = cost
+			best.Found = true
+		}
+	}
+	if !best.Found {
+		best.Cost = 0
+	}
+	return best, nil
+}
+
+// AllSafeVisibleSubsets enumerates every visible subset V ⊆ I∪O that is
+// safe for Γ. Exponential in k; intended for constraint-list derivation and
+// tests.
+func (mv ModuleView) AllSafeVisibleSubsets(gamma uint64) ([]relation.NameSet, error) {
+	attrs := mv.Attrs()
+	k := len(attrs)
+	if k > 20 {
+		return nil, fmt.Errorf("privacy: %d attributes too many to enumerate", k)
+	}
+	var out []relation.NameSet
+	for mask := 0; mask < 1<<k; mask++ {
+		visible := make(relation.NameSet)
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				visible.Add(a)
+			}
+		}
+		safe, err := mv.IsSafe(visible, gamma)
+		if err != nil {
+			return nil, err
+		}
+		if safe {
+			out = append(out, visible)
+		}
+	}
+	return out, nil
+}
+
+// MinimalSafeHiddenSets enumerates the inclusion-minimal hidden sets V̄ such
+// that V = (I∪O)\V̄ is safe for Γ. By Proposition 1 safety is monotone in
+// the hidden set, so these minimal sets generate all safe solutions and
+// serve as the per-module requirement lists Li of the workflow Secure-View
+// problem with set constraints (section 4.2).
+func (mv ModuleView) MinimalSafeHiddenSets(gamma uint64) ([]relation.NameSet, error) {
+	attrs := mv.Attrs()
+	k := len(attrs)
+	if k > 20 {
+		return nil, fmt.Errorf("privacy: %d attributes too many to enumerate", k)
+	}
+	all := relation.NewNameSet(attrs...)
+	// Order masks by popcount so minimality reduces to "no previously
+	// accepted set is a subset".
+	masksBySize := make([][]int, k+1)
+	for mask := 0; mask < 1<<k; mask++ {
+		pc := popcount(mask)
+		masksBySize[pc] = append(masksBySize[pc], mask)
+	}
+	var minimal []relation.NameSet
+	for size := 0; size <= k; size++ {
+		for _, mask := range masksBySize[size] {
+			hidden := make(relation.NameSet)
+			for i, a := range attrs {
+				if mask&(1<<i) != 0 {
+					hidden.Add(a)
+				}
+			}
+			dominated := false
+			for _, m := range minimal {
+				if m.SubsetOf(hidden) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			safe, err := mv.IsSafe(all.Minus(hidden), gamma)
+			if err != nil {
+				return nil, err
+			}
+			if safe {
+				minimal = append(minimal, hidden)
+			}
+		}
+	}
+	return minimal, nil
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// SafeViewOracle answers safety queries for a fixed module and Γ (the
+// oracle of Theorem 3).
+type SafeViewOracle interface {
+	// IsSafe reports whether the visible set is safe.
+	IsSafe(visible relation.NameSet) (bool, error)
+}
+
+// CountingOracle wraps a SafeViewOracle and counts calls.
+type CountingOracle struct {
+	Inner SafeViewOracle
+	calls int
+}
+
+// IsSafe delegates and increments the call counter.
+func (c *CountingOracle) IsSafe(visible relation.NameSet) (bool, error) {
+	c.calls++
+	return c.Inner.IsSafe(visible)
+}
+
+// Calls returns the number of oracle queries made so far.
+func (c *CountingOracle) Calls() int { return c.calls }
+
+// relationOracle implements SafeViewOracle on a concrete module view.
+type relationOracle struct {
+	mv    ModuleView
+	gamma uint64
+}
+
+// OracleFor returns a Safe-View oracle backed by the module view.
+func OracleFor(mv ModuleView, gamma uint64) SafeViewOracle {
+	return relationOracle{mv: mv, gamma: gamma}
+}
+
+func (o relationOracle) IsSafe(visible relation.NameSet) (bool, error) {
+	return o.mv.IsSafe(visible, o.gamma)
+}
+
+// MinCostSafeSubsetWithOracle solves the standalone Secure-View decision
+// problem using only oracle calls: it asks the oracle about every subset in
+// increasing cost order until it finds a safe one of cost <= budget. It
+// returns the hidden set found (nil if none), its cost, and the number of
+// oracle calls. This is the generic 2^k-call upper bound of section 3.2.
+func MinCostSafeSubsetWithOracle(attrs []string, costs Costs, oracle *CountingOracle, budget float64) (relation.NameSet, float64, int, error) {
+	k := len(attrs)
+	if k > 24 {
+		return nil, 0, 0, fmt.Errorf("privacy: %d attributes too many", k)
+	}
+	type cand struct {
+		mask int
+		cost float64
+	}
+	cands := make([]cand, 0, 1<<k)
+	for mask := 0; mask < 1<<k; mask++ {
+		cost := 0.0
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				cost += costs.Of(a)
+			}
+		}
+		if cost <= budget {
+			cands = append(cands, cand{mask, cost})
+		}
+	}
+	// Sort by cost ascending (ties on mask for determinism).
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].mask < cands[j].mask
+	})
+	start := oracle.Calls()
+	all := relation.NewNameSet(attrs...)
+	for _, c := range cands {
+		hidden := make(relation.NameSet)
+		for i, a := range attrs {
+			if c.mask&(1<<i) != 0 {
+				hidden.Add(a)
+			}
+		}
+		safe, err := oracle.IsSafe(all.Minus(hidden))
+		if err != nil {
+			return nil, 0, oracle.Calls() - start, err
+		}
+		if safe {
+			return hidden, c.cost, oracle.Calls() - start, nil
+		}
+	}
+	return nil, 0, oracle.Calls() - start, nil
+}

@@ -1,0 +1,51 @@
+package provenance
+
+import (
+	"fmt"
+	"io"
+
+	"secureview/internal/relation"
+)
+
+// ImportCSV loads previously exported executions into the store. Rows must
+// be full provenance tuples over the workflow schema; each row is
+// re-validated against the workflow's modules (an imported log must be
+// consistent with the functionality, or it is not provenance of this
+// workflow).
+func (s *Store) ImportCSV(r io.Reader) error {
+	rel, err := relation.ReadCSV(s.w.Schema(), r)
+	if err != nil {
+		return err
+	}
+	initialCols, err := s.w.Schema().Columns(s.w.InitialInputNames())
+	if err != nil {
+		return err
+	}
+	for _, row := range rel.Rows() {
+		initial := make(relation.Tuple, len(initialCols))
+		for i, c := range initialCols {
+			initial[i] = row[c]
+		}
+		replayed, err := s.w.Execute(initial)
+		if err != nil {
+			return fmt.Errorf("provenance: replaying imported row: %w", err)
+		}
+		if !replayed.Equal(row) {
+			return fmt.Errorf("provenance: imported row %v inconsistent with workflow functionality", row)
+		}
+		if err := s.rel.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExportCSV writes the recorded executions (owner-side, all attributes).
+func (s *Store) ExportCSV(w io.Writer) error {
+	return s.rel.WriteCSV(w)
+}
+
+// ExportCSV writes the published view's rows (visible attributes only).
+func (v *View) ExportCSV(w io.Writer) error {
+	return v.rel.WriteCSV(w)
+}

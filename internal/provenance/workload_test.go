@@ -1,0 +1,165 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+
+	"secureview/internal/query"
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+func fig1Store(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(workflow.Fig1())
+	if err := s.RecordAll(1 << 10); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSecureViewForWorkloadProtectsHotQueries(t *testing.T) {
+	s := fig1Store(t)
+	// Users overwhelmingly query a6 and a7 (the final outputs); the view
+	// should prefer hiding other attributes.
+	wl := query.Workload{
+		{Query: query.Query{Name: "final", Project: []string{"a6", "a7"}}, Weight: 100},
+		{Query: query.Query{Name: "debug", Project: []string{"a3", "a4", "a5"}}, Weight: 1},
+	}
+	view, utility, err := s.SecureViewForWorkload(2, wl, nil, SolverExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Hidden.Has("a6") || view.Hidden.Has("a7") {
+		t.Errorf("hot attributes hidden: %v", view.HiddenSorted())
+	}
+	if utility < 100.0/101 {
+		t.Errorf("retained utility = %v, want >= 100/101", utility)
+	}
+	// The heavy query must be answerable; run it.
+	res, err := view.Answer(wl[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Error("hot query returned nothing")
+	}
+}
+
+func TestSecureViewForWorkloadFlipsWithWeights(t *testing.T) {
+	s := fig1Store(t)
+	// Now the intermediate attributes are hot instead.
+	wl := query.Workload{
+		{Query: query.Query{Name: "mid", Project: []string{"a3", "a4", "a5"}}, Weight: 100},
+	}
+	view, _, err := s.SecureViewForWorkload(2, wl, nil, SolverExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hot := range []string{"a3", "a4", "a5"} {
+		if view.Hidden.Has(hot) {
+			t.Errorf("hot attribute %s hidden: %v", hot, view.HiddenSorted())
+		}
+	}
+}
+
+func TestAnswerRefusesHiddenQueries(t *testing.T) {
+	s := fig1Store(t)
+	wl := query.Workload{
+		{Query: query.Query{Name: "final", Project: []string{"a6", "a7"}}, Weight: 10},
+	}
+	view, _, err := s.SecureViewForWorkload(2, wl, nil, SolverExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := view.HiddenSorted()
+	if len(hidden) == 0 {
+		t.Fatal("nothing hidden")
+	}
+	_, err = view.Answer(query.Query{Name: "snoop", Project: []string{hidden[0]}})
+	if err == nil || !strings.Contains(err.Error(), "hidden") {
+		t.Errorf("snooping query err = %v", err)
+	}
+}
+
+func TestWorkloadValidateErrorPropagates(t *testing.T) {
+	s := fig1Store(t)
+	bad := query.Workload{{Query: query.Query{Name: "q", Project: []string{"zz"}}, Weight: 1}}
+	if _, _, err := s.SecureViewForWorkload(2, bad, nil, SolverExact); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestSecureViewRecordedAndAudit(t *testing.T) {
+	w := workflow.Fig1()
+	s := NewStore(w)
+	// Record a partial log: two executions that coincide on the m2/m3
+	// columns, forcing more hiding (see TestDeriveFromRecordedPartialLog).
+	for _, x := range []relation.Tuple{{0, 1}, {1, 0}} {
+		if err := s.Record(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	costs := map[string]float64{}
+	for _, n := range w.Schema().Names() {
+		costs[n] = 1
+	}
+	view, err := s.SecureViewRecorded(2, costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditRecorded(s, view); err != nil {
+		t.Fatalf("fresh view fails audit: %v", err)
+	}
+	// Growing the log can break a partial-log view: new input groups may
+	// have too little output ambiguity. Record the remaining executions
+	// and re-audit; if the audit fails, recomputing must succeed.
+	if err := s.Record(relation.Tuple{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(relation.Tuple{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditRecorded(s, view); err != nil {
+		view2, err := s.SecureViewRecorded(2, costs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AuditRecorded(s, view2); err != nil {
+			t.Fatalf("recomputed view still fails audit: %v", err)
+		}
+	}
+}
+
+func TestAuditDetectsBreakage(t *testing.T) {
+	// Build a view over a 1-row log where hiding nothing but one output is
+	// safe, then grow the log so the same view fails.
+	w := workflow.Fig1()
+	s := NewStore(w)
+	if err := s.Record(relation.Tuple{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	costs := map[string]float64{}
+	for _, n := range w.Schema().Names() {
+		costs[n] = 1
+	}
+	view, err := s.SecureViewRecorded(2, costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditRecorded(s, view); err != nil {
+		t.Fatalf("fresh single-row view fails audit: %v", err)
+	}
+	for _, x := range []relation.Tuple{{0, 1}, {1, 0}, {1, 1}} {
+		if err := s.Record(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The audit either still passes (the view was conservative enough) or
+	// reports a specific module; both are legitimate, but the error, if
+	// any, must name a module.
+	if err := AuditRecorded(s, view); err != nil &&
+		!strings.Contains(err.Error(), "module") {
+		t.Errorf("audit error lacks module context: %v", err)
+	}
+}

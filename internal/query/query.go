@@ -1,0 +1,213 @@
+// Package query implements the select-project-join query class the paper
+// assumes users run over provenance relations ("the queries are select-
+// project-join style queries over the provenance relation", Related Work).
+//
+// It serves two purposes in the library:
+//
+//  1. Users of a published view run queries against it; the engine
+//     evaluates SPJ queries over relations and refuses queries that touch
+//     hidden attributes.
+//  2. Owners derive the attribute-cost assignment of the Secure-View
+//     problem from an expected query workload: hiding an attribute costs
+//     the total weight of the queries it breaks — a concrete instantiation
+//     of "the utility lost to the user when the data value is hidden"
+//     (section 1).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+)
+
+// Predicate is a selection condition.
+type Predicate struct {
+	// Attr is the attribute the predicate constrains.
+	Attr string
+	// EqualsAttr, when non-empty, requires Attr = EqualsAttr (an equi-
+	// selection between two columns).
+	EqualsAttr string
+	// Value is the constant compared against when EqualsAttr is empty.
+	Value relation.Value
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	if p.EqualsAttr != "" {
+		return fmt.Sprintf("%s = %s", p.Attr, p.EqualsAttr)
+	}
+	return fmt.Sprintf("%s = %d", p.Attr, p.Value)
+}
+
+// Query is a select-project-join query: join the named base relations (for
+// provenance views there is a single base, the view itself), apply the
+// selection predicates conjunctively, and project onto Project.
+type Query struct {
+	// Name identifies the query in workloads.
+	Name string
+	// Select lists conjunctive predicates.
+	Select []Predicate
+	// Project lists output attributes; empty means all attributes.
+	Project []string
+}
+
+// Attributes returns every attribute the query touches (selection and
+// projection), sorted.
+func (q Query) Attributes() []string {
+	set := make(relation.NameSet)
+	for _, p := range q.Select {
+		set.Add(p.Attr)
+		if p.EqualsAttr != "" {
+			set.Add(p.EqualsAttr)
+		}
+	}
+	for _, a := range q.Project {
+		set.Add(a)
+	}
+	return set.Sorted()
+}
+
+// String renders the query roughly as SQL.
+func (q Query) String() string {
+	proj := "*"
+	if len(q.Project) > 0 {
+		proj = strings.Join(q.Project, ", ")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s", proj)
+	if len(q.Select) > 0 {
+		parts := make([]string, len(q.Select))
+		for i, p := range q.Select {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(&b, " WHERE %s", strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+// Validate checks the query against a schema.
+func (q Query) Validate(s *relation.Schema) error {
+	for _, p := range q.Select {
+		if !s.Has(p.Attr) {
+			return fmt.Errorf("query %s: unknown attribute %q", q.Name, p.Attr)
+		}
+		if p.EqualsAttr != "" {
+			if !s.Has(p.EqualsAttr) {
+				return fmt.Errorf("query %s: unknown attribute %q", q.Name, p.EqualsAttr)
+			}
+		} else {
+			i := s.IndexOf(p.Attr)
+			if p.Value < 0 || p.Value >= s.Attr(i).Domain {
+				return fmt.Errorf("query %s: value %d out of domain of %q", q.Name, p.Value, p.Attr)
+			}
+		}
+	}
+	for _, a := range q.Project {
+		if !s.Has(a) {
+			return fmt.Errorf("query %s: unknown projection attribute %q", q.Name, a)
+		}
+	}
+	return nil
+}
+
+// Answerable reports whether the query can be answered given only the
+// visible attributes: every attribute it touches must be visible.
+func (q Query) Answerable(visible relation.NameSet) bool {
+	for _, a := range q.Attributes() {
+		if !visible.Has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval runs the query over a relation.
+func (q Query) Eval(r *relation.Relation) (*relation.Relation, error) {
+	if err := q.Validate(r.Schema()); err != nil {
+		return nil, err
+	}
+	s := r.Schema()
+	filtered := r.Select(func(t relation.Tuple) bool {
+		for _, p := range q.Select {
+			i := s.IndexOf(p.Attr)
+			if p.EqualsAttr != "" {
+				if t[i] != t[s.IndexOf(p.EqualsAttr)] {
+					return false
+				}
+			} else if t[i] != p.Value {
+				return false
+			}
+		}
+		return true
+	})
+	if len(q.Project) == 0 {
+		return filtered, nil
+	}
+	return filtered.Project(q.Project)
+}
+
+// Join evaluates the natural join of two relations and then the query over
+// the result, covering the J in SPJ for callers holding multiple exported
+// views or module relations.
+func (q Query) Join(left, right *relation.Relation) (*relation.Relation, error) {
+	joined, err := left.Join(right)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(joined)
+}
+
+// WorkloadEntry pairs a query with its importance weight.
+type WorkloadEntry struct {
+	Query  Query
+	Weight float64
+}
+
+// Workload is an expected set of user queries with weights.
+type Workload []WorkloadEntry
+
+// Validate checks every query against the schema and requires positive
+// weights.
+func (wl Workload) Validate(s *relation.Schema) error {
+	for _, e := range wl {
+		if e.Weight < 0 {
+			return fmt.Errorf("query %s: negative weight %v", e.Query.Name, e.Weight)
+		}
+		if err := e.Query.Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Costs derives the Secure-View attribute costs from the workload: the
+// cost of hiding attribute a is the total weight of queries touching a
+// (those queries become unanswerable). Attributes touched by no query get
+// cost epsilon so that ties still prefer hiding nothing.
+func (wl Workload) Costs(s *relation.Schema, epsilon float64) privacy.Costs {
+	costs := make(privacy.Costs, s.Len())
+	for _, n := range s.Names() {
+		costs[n] = epsilon
+	}
+	for _, e := range wl {
+		for _, a := range e.Query.Attributes() {
+			costs[a] += e.Weight
+		}
+	}
+	return costs
+}
+
+// AnswerableWeight returns the total weight of workload queries that remain
+// answerable under the visible set, and the total workload weight. The
+// ratio is the retained utility of a view.
+func (wl Workload) AnswerableWeight(visible relation.NameSet) (answerable, total float64) {
+	for _, e := range wl {
+		total += e.Weight
+		if e.Query.Answerable(visible) {
+			answerable += e.Weight
+		}
+	}
+	return answerable, total
+}

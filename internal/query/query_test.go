@@ -1,0 +1,218 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+func fig1R(t *testing.T) *relation.Relation {
+	t.Helper()
+	return workflow.Fig1().MustRelation()
+}
+
+func TestEvalSelectConstant(t *testing.T) {
+	r := fig1R(t)
+	q := Query{Name: "q", Select: []Predicate{{Attr: "a1", Value: 0}}}
+	out, err := q.Eval(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", out.Len())
+	}
+}
+
+func TestEvalSelectAttrEquality(t *testing.T) {
+	r := fig1R(t)
+	// Rows where a1 = a2: inputs (0,0) and (1,1).
+	q := Query{Name: "q", Select: []Predicate{{Attr: "a1", EqualsAttr: "a2"}}}
+	out, err := q.Eval(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", out.Len())
+	}
+}
+
+func TestEvalProject(t *testing.T) {
+	r := fig1R(t)
+	q := Query{
+		Name:    "q",
+		Select:  []Predicate{{Attr: "a6", Value: 1}},
+		Project: []string{"a1", "a2"},
+	}
+	out, err := q.Eval(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Schema().Names(); len(got) != 2 || got[0] != "a1" {
+		t.Fatalf("schema = %v", got)
+	}
+	if out.Len() != 2 { // a6=1 on inputs (0,0) and (1,1)
+		t.Fatalf("rows = %d, want 2", out.Len())
+	}
+}
+
+func TestEvalConjunction(t *testing.T) {
+	r := fig1R(t)
+	q := Query{Name: "q", Select: []Predicate{
+		{Attr: "a1", Value: 0},
+		{Attr: "a6", Value: 0},
+	}}
+	out, err := q.Eval(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d, want 1 (input (0,1))", out.Len())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	r := fig1R(t)
+	cases := []Query{
+		{Name: "bad attr", Select: []Predicate{{Attr: "zz", Value: 0}}},
+		{Name: "bad equal", Select: []Predicate{{Attr: "a1", EqualsAttr: "zz"}}},
+		{Name: "bad value", Select: []Predicate{{Attr: "a1", Value: 7}}},
+		{Name: "bad projection", Project: []string{"zz"}},
+	}
+	for _, q := range cases {
+		if _, err := q.Eval(r); err == nil {
+			t.Errorf("%s accepted", q.Name)
+		}
+	}
+}
+
+func TestJoinQuery(t *testing.T) {
+	w := workflow.Fig1()
+	r1 := w.Module("m1").Relation()
+	r2 := w.Module("m2").Relation()
+	q := Query{Name: "j", Select: []Predicate{{Attr: "a6", Value: 0}}, Project: []string{"a1", "a2", "a6"}}
+	out, err := q.Join(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a6 = ¬(a3∧a4) = 0 requires a3=a4=1, i.e. m1 input... a3=a1∨a2=1 and
+	// a4=¬(a1∧a2)=1 ⇒ exactly one of a1,a2 is 1: two rows.
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", out.Len())
+	}
+}
+
+func TestAnswerable(t *testing.T) {
+	q := Query{Name: "q", Select: []Predicate{{Attr: "a1", Value: 0}}, Project: []string{"a3"}}
+	if !q.Answerable(relation.NewNameSet("a1", "a3", "a5")) {
+		t.Error("answerable query rejected")
+	}
+	if q.Answerable(relation.NewNameSet("a1", "a5")) {
+		t.Error("query touching hidden a3 accepted")
+	}
+}
+
+func TestAttributesAndString(t *testing.T) {
+	q := Query{
+		Name:    "q",
+		Select:  []Predicate{{Attr: "a4", EqualsAttr: "a5"}, {Attr: "a1", Value: 1}},
+		Project: []string{"a7"},
+	}
+	got := q.Attributes()
+	want := "a1,a4,a5,a7"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("attributes = %v, want %s", got, want)
+	}
+	s := q.String()
+	if !strings.Contains(s, "SELECT a7") || !strings.Contains(s, "a4 = a5") || !strings.Contains(s, "a1 = 1") {
+		t.Errorf("String = %q", s)
+	}
+	if (Query{}).String() != "SELECT *" {
+		t.Errorf("empty query renders %q", (Query{}).String())
+	}
+}
+
+func TestWorkloadCosts(t *testing.T) {
+	s := workflow.Fig1().Schema()
+	wl := Workload{
+		{Query: Query{Name: "q1", Project: []string{"a1", "a6"}}, Weight: 10},
+		{Query: Query{Name: "q2", Select: []Predicate{{Attr: "a6", Value: 1}}, Project: []string{"a7"}}, Weight: 5},
+	}
+	if err := wl.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	costs := wl.Costs(s, 0.1)
+	if costs["a6"] != 15.1 { // both queries touch a6
+		t.Errorf("cost(a6) = %v, want 15.1", costs["a6"])
+	}
+	if costs["a1"] != 10.1 {
+		t.Errorf("cost(a1) = %v, want 10.1", costs["a1"])
+	}
+	if costs["a3"] != 0.1 { // untouched
+		t.Errorf("cost(a3) = %v, want 0.1", costs["a3"])
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	s := workflow.Fig1().Schema()
+	bad := Workload{{Query: Query{Name: "q", Project: []string{"zz"}}, Weight: 1}}
+	if err := bad.Validate(s); err == nil {
+		t.Error("bad workload accepted")
+	}
+	neg := Workload{{Query: Query{Name: "q", Project: []string{"a1"}}, Weight: -1}}
+	if err := neg.Validate(s); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestAnswerableWeight(t *testing.T) {
+	wl := Workload{
+		{Query: Query{Name: "q1", Project: []string{"a1"}}, Weight: 3},
+		{Query: Query{Name: "q2", Project: []string{"a4"}}, Weight: 7},
+	}
+	ans, total := wl.AnswerableWeight(relation.NewNameSet("a1"))
+	if ans != 3 || total != 10 {
+		t.Fatalf("answerable/total = %v/%v, want 3/10", ans, total)
+	}
+}
+
+// Property: hiding exactly the attributes a query touches makes it
+// unanswerable, and query results are always subsets of the input rows
+// projected.
+func TestQuickQuerySemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := fig1RelForQuick()
+		s := r.Schema()
+		attr := s.Names()[rng.Intn(s.Len())]
+		q := Query{
+			Name:   "q",
+			Select: []Predicate{{Attr: attr, Value: rng.Intn(2)}},
+		}
+		out, err := q.Eval(r)
+		if err != nil {
+			return false
+		}
+		if out.Len() > r.Len() {
+			return false
+		}
+		// Every result row came from the input.
+		for _, row := range out.Rows() {
+			if !r.Contains(row) {
+				return false
+			}
+		}
+		all := relation.NewNameSet(s.Names()...)
+		return !q.Answerable(all.Minus(relation.NewNameSet(attr)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fig1RelForQuick() *relation.Relation {
+	return workflow.Fig1().MustRelation()
+}

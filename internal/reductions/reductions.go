@@ -1,0 +1,387 @@
+// Package reductions implements the instance constructions used in the
+// paper's hardness proofs, as generators producing Secure-View instances
+// from combinatorial source problems:
+//
+//   - set cover → cardinality constraints, all-private (Theorem 5, B.4.2)
+//   - label cover → set constraints, all-private (Theorem 6, B.5.2, Fig. 4)
+//   - vertex cover in cubic graphs → no data sharing (Theorem 7, B.6.2, Fig. 5)
+//   - set cover → general workflow, no sharing (Theorem 9, C.2)
+//   - label cover → general workflow, cardinality (Theorem 10, C.4, Fig. 6)
+//   - the Example 5 family separating standalone assembly from the
+//     workflow optimum by Ω(n)
+//
+// Each lemma in the paper asserts an exact cost correspondence between the
+// source optimum and the constructed instance's optimum; the experiments
+// (and tests) verify those equalities by solving both sides, and the
+// constructions double as adversarial workloads for the approximation
+// algorithms.
+package reductions
+
+import (
+	"fmt"
+
+	"secureview/internal/combopt"
+	"secureview/internal/privacy"
+	"secureview/internal/secureview"
+)
+
+// FromSetCoverCardinality builds the Theorem 5 / B.4.2 instance: a module z
+// emitting one data item a_i per set S_i (cost 1 each, shared among the
+// element modules of S_i's members), and a module f_j per element u_j
+// requiring any one of its incoming items hidden. z requires any one of its
+// outgoing items hidden. The instance optimum equals the set-cover optimum.
+func FromSetCoverCardinality(sc combopt.SetCover) *secureview.Problem {
+	const expensive = 1e6
+	p := &secureview.Problem{Costs: privacy.Costs{}}
+	aName := func(i int) string { return fmt.Sprintf("a%d", i) }
+
+	var zOutputs []string
+	for i := range sc.Sets {
+		a := aName(i)
+		zOutputs = append(zOutputs, a)
+		p.Costs[a] = 1
+	}
+	p.Costs["bs"] = expensive
+	p.Modules = append(p.Modules, secureview.ModuleSpec{
+		Name: "z", Inputs: []string{"bs"}, Outputs: zOutputs,
+		CardList: []secureview.CardReq{{Alpha: 0, Beta: 1}},
+	})
+	members := make([][]int, sc.N)
+	for i, s := range sc.Sets {
+		for _, e := range s {
+			members[e] = append(members[e], i)
+		}
+	}
+	for j := 0; j < sc.N; j++ {
+		var in []string
+		for _, i := range members[j] {
+			in = append(in, aName(i))
+		}
+		out := fmt.Sprintf("b%d", j)
+		p.Costs[out] = expensive
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("f%d", j), Inputs: in, Outputs: []string{out},
+			CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}},
+		})
+	}
+	return p
+}
+
+// SetCoverFromSolution extracts a set cover from a solution of the
+// FromSetCoverCardinality instance: the sets whose data item is hidden.
+func SetCoverFromSolution(sc combopt.SetCover, sol secureview.Solution) []int {
+	var cover []int
+	for i := range sc.Sets {
+		if sol.Hidden.Has(fmt.Sprintf("a%d", i)) {
+			cover = append(cover, i)
+		}
+	}
+	return cover
+}
+
+// FromLabelCoverSet builds the Theorem 6 / B.5.2 (Figure 4) instance: a
+// module z emits one item b_{u,ℓ} per vertex–label pair (cost 1); each edge
+// module x_uw lists, per admissible label pair (ℓ1,ℓ2) ∈ R_uw, the option
+// of hiding {b_{u,ℓ1}, b_{w,ℓ2}}; z lists every singleton. The instance
+// optimum equals the label-cover optimum (Lemma 5), and ℓmax equals the
+// largest relation size.
+func FromLabelCoverSet(lc combopt.LabelCover) *secureview.Problem {
+	const expensive = 1e6
+	p := &secureview.Problem{Costs: privacy.Costs{}}
+	bName := func(v, l int) string { return fmt.Sprintf("b_v%d_l%d", v, l) } // v over U ∪ U'
+
+	var zOutputs []string
+	var zList []secureview.SetReq
+	for v := 0; v < lc.NU+lc.NW; v++ {
+		for l := 0; l < lc.L; l++ {
+			b := bName(v, l)
+			zOutputs = append(zOutputs, b)
+			p.Costs[b] = 1
+			zList = append(zList, secureview.SetReq{Out: []string{b}})
+		}
+	}
+	p.Costs["bz"] = expensive
+	p.Modules = append(p.Modules, secureview.ModuleSpec{
+		Name: "z", Inputs: []string{"bz"}, Outputs: zOutputs, SetList: zList,
+	})
+	for ei, e := range lc.Edges {
+		inSet := make(map[string]bool)
+		var list []secureview.SetReq
+		for _, pair := range e.Rel {
+			b1 := bName(e.U, pair[0])
+			b2 := bName(lc.NU+e.W, pair[1])
+			inSet[b1] = true
+			inSet[b2] = true
+			if b1 == b2 {
+				list = append(list, secureview.SetReq{In: []string{b1}})
+			} else {
+				list = append(list, secureview.SetReq{In: []string{b1, b2}})
+			}
+		}
+		var in []string
+		for b := range inSet {
+			in = append(in, b)
+		}
+		out := fmt.Sprintf("b_e%d", ei)
+		p.Costs[out] = expensive
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("x_e%d", ei), Inputs: in, Outputs: []string{out}, SetList: list,
+		})
+	}
+	return p
+}
+
+// LabelCoverFromSolution extracts a label assignment from a solution of the
+// FromLabelCoverSet instance: label ℓ is assigned to vertex v iff b_{v,ℓ}
+// is hidden.
+func LabelCoverFromSolution(lc combopt.LabelCover, sol secureview.Solution) combopt.Assignment {
+	a := make(combopt.Assignment, lc.NU+lc.NW)
+	for v := range a {
+		a[v] = make([]bool, lc.L)
+		for l := 0; l < lc.L; l++ {
+			if sol.Hidden.Has(fmt.Sprintf("b_v%d_l%d", v, l)) {
+				a[v][l] = true
+			}
+		}
+	}
+	return a
+}
+
+// FromVertexCoverNoSharing builds the Theorem 7 / B.6.2 (Figure 5)
+// instance from a graph: per edge (u,v) a module x_uv requiring one of its
+// two outgoing items (towards y_u, y_v) hidden; per vertex v a module y_v
+// requiring either all its d_v incoming items or its single outgoing item
+// (towards z) hidden; z requires one incoming item. Every item costs 1 and
+// no item is shared (γ = 1). The instance optimum equals |E| + K where K is
+// the minimum vertex cover size (Lemma 6).
+func FromVertexCoverNoSharing(g combopt.Graph) *secureview.Problem {
+	const expensive = 1e6
+	p := &secureview.Problem{Costs: privacy.Costs{}}
+	edgeAttr := func(ei, v int) string { return fmt.Sprintf("e%d_to_y%d", ei, v) }
+	vertAttr := func(v int) string { return fmt.Sprintf("y%d_to_z", v) }
+
+	vertIn := make([][]string, g.N)
+	for ei, e := range g.Edges {
+		a0 := edgeAttr(ei, e[0])
+		a1 := edgeAttr(ei, e[1])
+		p.Costs[a0] = 1
+		p.Costs[a1] = 1
+		vertIn[e[0]] = append(vertIn[e[0]], a0)
+		vertIn[e[1]] = append(vertIn[e[1]], a1)
+		src := fmt.Sprintf("src%d", ei)
+		p.Costs[src] = expensive
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("x%d", ei), Inputs: []string{src}, Outputs: []string{a0, a1},
+			CardList: []secureview.CardReq{{Alpha: 0, Beta: 1}},
+		})
+	}
+	var zIn []string
+	for v := 0; v < g.N; v++ {
+		out := vertAttr(v)
+		p.Costs[out] = 1
+		zIn = append(zIn, out)
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("y%d", v), Inputs: vertIn[v], Outputs: []string{out},
+			CardList: []secureview.CardReq{
+				{Alpha: len(vertIn[v]), Beta: 0},
+				{Alpha: 0, Beta: 1},
+			},
+		})
+	}
+	p.Costs["zout"] = expensive
+	p.Modules = append(p.Modules, secureview.ModuleSpec{
+		Name: "z", Inputs: zIn, Outputs: []string{"zout"},
+		CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}},
+	})
+	return p
+}
+
+// VertexCoverFromSolution extracts the vertex set {v : y_v→z hidden} from a
+// solution of the FromVertexCoverNoSharing instance.
+func VertexCoverFromSolution(g combopt.Graph, sol secureview.Solution) []int {
+	var cover []int
+	for v := 0; v < g.N; v++ {
+		if sol.Hidden.Has(fmt.Sprintf("y%d_to_z", v)) {
+			cover = append(cover, v)
+		}
+	}
+	return cover
+}
+
+// FromSetCoverGeneral builds the Theorem 9 / C.2 instance: one PUBLIC
+// module per set S_i (privatization cost 1) emitting a free item b_ij to
+// the private module of every member element u_j; each element module
+// requires one incoming item hidden (cost 0). Hiding b_ij forces
+// privatizing S_i, so the optimum equals the set-cover optimum, with γ = 1
+// (no data sharing) — where the all-private variant admits a
+// (γ+1)-approximation, public modules push the gap to Ω(log n).
+func FromSetCoverGeneral(sc combopt.SetCover) *secureview.Problem {
+	p := &secureview.Problem{Costs: privacy.Costs{}}
+	bName := func(i, j int) string { return fmt.Sprintf("b_s%d_e%d", i, j) }
+	members := make([][]int, sc.N)
+	for i, s := range sc.Sets {
+		var out []string
+		for _, e := range s {
+			members[e] = append(members[e], i)
+			b := bName(i, e)
+			out = append(out, b)
+			p.Costs[b] = 0
+		}
+		in := fmt.Sprintf("a%d", i)
+		p.Costs[in] = 0
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("S%d", i), Inputs: []string{in}, Outputs: out,
+			Public: true, PrivatizeCost: 1,
+		})
+	}
+	for j := 0; j < sc.N; j++ {
+		var in []string
+		for _, i := range members[j] {
+			in = append(in, bName(i, j))
+		}
+		out := fmt.Sprintf("b%d", j)
+		p.Costs[out] = 0
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("u%d", j), Inputs: in, Outputs: []string{out},
+			CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}},
+			SetList:  setOptionsFromInputs(in),
+		})
+	}
+	return p
+}
+
+func setOptionsFromInputs(in []string) []secureview.SetReq {
+	opts := make([]secureview.SetReq, len(in))
+	for i, a := range in {
+		opts[i] = secureview.SetReq{In: []string{a}}
+	}
+	return opts
+}
+
+// PrivatizedSetsFromSolution extracts {i : S_i privatized} from a solution
+// of the FromSetCoverGeneral instance.
+func PrivatizedSetsFromSolution(sc combopt.SetCover, sol secureview.Solution) []int {
+	var cover []int
+	for i := range sc.Sets {
+		if sol.Privatized.Has(fmt.Sprintf("S%d", i)) {
+			cover = append(cover, i)
+		}
+	}
+	return cover
+}
+
+// FromLabelCoverGeneral builds the Theorem 10 / C.4 (Figure 6) instance:
+// private modules v (requires its single output d_v hidden), y_{ℓ1,ℓ2}
+// (requires its incoming d_v hidden — free once d_v is hidden), and x_uw
+// (requires one incoming d_{u,w,ℓ1,ℓ2} hidden); PUBLIC modules z_{u,ℓ}
+// (privatization cost 1) consume every d_{u,w,ℓ1,ℓ2} with ℓ at u's side.
+// All data is free; cost comes only from privatization, and the optimum
+// equals the label-cover optimum (Lemma 8).
+func FromLabelCoverGeneral(lc combopt.LabelCover) *secureview.Problem {
+	p := &secureview.Problem{Costs: privacy.Costs{}}
+	dName := func(ei int, l1, l2 int) string { return fmt.Sprintf("d_e%d_l%d_%d", ei, l1, l2) }
+
+	p.Costs["ds"] = 0
+	p.Costs["dv"] = 0
+	// v → all y_{l1,l2}.
+	p.Modules = append(p.Modules, secureview.ModuleSpec{
+		Name: "v", Inputs: []string{"ds"}, Outputs: []string{"dv"},
+		CardList: []secureview.CardReq{{Alpha: 0, Beta: 1}},
+	})
+	// Collect, per (l1,l2), the edge items y_{l1,l2} must emit; and per
+	// public module z_{v,l}, the items it consumes.
+	yOutputs := make(map[[2]int][]string)
+	zInputs := make(map[[2]int][]string) // key: (vertex in U∪U', label)
+	xInputs := make([][]string, len(lc.Edges))
+	for ei, e := range lc.Edges {
+		for _, pair := range e.Rel {
+			d := dName(ei, pair[0], pair[1])
+			p.Costs[d] = 0
+			yOutputs[[2]int{pair[0], pair[1]}] = append(yOutputs[[2]int{pair[0], pair[1]}], d)
+			zInputs[[2]int{e.U, pair[0]}] = append(zInputs[[2]int{e.U, pair[0]}], d)
+			zInputs[[2]int{lc.NU + e.W, pair[1]}] = append(zInputs[[2]int{lc.NU + e.W, pair[1]}], d)
+			xInputs[ei] = append(xInputs[ei], d)
+		}
+	}
+	for l1 := 0; l1 < lc.L; l1++ {
+		for l2 := 0; l2 < lc.L; l2++ {
+			outs := yOutputs[[2]int{l1, l2}]
+			final := fmt.Sprintf("d_y%d_%d", l1, l2)
+			p.Costs[final] = 0
+			outs = append(outs, final)
+			p.Modules = append(p.Modules, secureview.ModuleSpec{
+				Name: fmt.Sprintf("y%d_%d", l1, l2), Inputs: []string{"dv"}, Outputs: outs,
+				CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}},
+			})
+		}
+	}
+	for ei := range lc.Edges {
+		out := fmt.Sprintf("d_x%d", ei)
+		p.Costs[out] = 0
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("x_e%d", ei), Inputs: xInputs[ei], Outputs: []string{out},
+			CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}},
+		})
+	}
+	for v := 0; v < lc.NU+lc.NW; v++ {
+		for l := 0; l < lc.L; l++ {
+			in := zInputs[[2]int{v, l}]
+			if len(in) == 0 {
+				continue // label never usable at this vertex
+			}
+			out := fmt.Sprintf("d_z%d_%d", v, l)
+			p.Costs[out] = 0
+			p.Modules = append(p.Modules, secureview.ModuleSpec{
+				Name: fmt.Sprintf("z_v%d_l%d", v, l), Inputs: in, Outputs: []string{out},
+				Public: true, PrivatizeCost: 1,
+			})
+		}
+	}
+	return p
+}
+
+// GeneralLabelAssignmentFromSolution extracts the assignment
+// {ℓ ∈ A(v) iff z_{v,ℓ} privatized} from a FromLabelCoverGeneral solution.
+func GeneralLabelAssignmentFromSolution(lc combopt.LabelCover, sol secureview.Solution) combopt.Assignment {
+	a := make(combopt.Assignment, lc.NU+lc.NW)
+	for v := range a {
+		a[v] = make([]bool, lc.L)
+		for l := 0; l < lc.L; l++ {
+			if sol.Privatized.Has(fmt.Sprintf("z_v%d_l%d", v, l)) {
+				a[v][l] = true
+			}
+		}
+	}
+	return a
+}
+
+// Example5 builds the Example 5 family: module m sends item a2
+// (cost 1+eps) to n middle modules, each of which may instead hide its own
+// output b_i (cost 1); a collector accepts any hidden b_i; m may hide its
+// input a1 (cost 1) or a2. Per-module greedy assembly costs n+1 while the
+// optimum hides a2 plus one b_i for 2+eps — an Ω(n) assembly gap.
+func Example5(n int, eps float64) *secureview.Problem {
+	p := &secureview.Problem{Costs: privacy.Costs{"a1": 1, "a2": 1 + eps, "out": 1e6}}
+	p.Modules = append(p.Modules, secureview.ModuleSpec{
+		Name: "m", Inputs: []string{"a1"}, Outputs: []string{"a2"},
+		SetList:  []secureview.SetReq{{In: []string{"a1"}}, {Out: []string{"a2"}}},
+		CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}, {Alpha: 0, Beta: 1}},
+	})
+	var bs []string
+	for i := 0; i < n; i++ {
+		b := fmt.Sprintf("b%d", i)
+		bs = append(bs, b)
+		p.Costs[b] = 1
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("mi%d", i), Inputs: []string{"a2"}, Outputs: []string{b},
+			SetList:  []secureview.SetReq{{In: []string{"a2"}}, {Out: []string{b}}},
+			CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}, {Alpha: 0, Beta: 1}},
+		})
+	}
+	p.Modules = append(p.Modules, secureview.ModuleSpec{
+		Name: "mprime", Inputs: bs, Outputs: []string{"out"},
+		SetList:  setOptionsFromInputs(bs),
+		CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}},
+	})
+	return p
+}

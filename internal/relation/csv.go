@@ -1,0 +1,78 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the relation: a header row of attribute names
+// followed by one record per tuple (sorted, for determinism). Domains are
+// not encoded; pair the file with its schema when reading back.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.schema.Names()); err != nil {
+		return fmt.Errorf("relation: writing header: %w", err)
+	}
+	rec := make([]string, r.schema.Len())
+	for _, row := range r.SortedRows() {
+		for i, v := range row {
+			rec[i] = strconv.Itoa(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a relation over the given schema from CSV as produced by
+// WriteCSV. The header must list exactly the schema's attributes; columns
+// may appear in any order. Values are validated against domains.
+func ReadCSV(schema *Schema, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading header: %w", err)
+	}
+	if len(header) != schema.Len() {
+		return nil, fmt.Errorf("relation: header has %d columns, schema has %d", len(header), schema.Len())
+	}
+	// Map file columns to schema columns.
+	colFor := make([]int, len(header))
+	seen := make(map[string]bool, len(header))
+	for i, name := range header {
+		c := schema.IndexOf(name)
+		if c < 0 {
+			return nil, fmt.Errorf("relation: header column %q not in schema", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("relation: duplicate header column %q", name)
+		}
+		seen[name] = true
+		colFor[i] = c
+	}
+	out := New(schema)
+	row := make(Tuple, schema.Len())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: line %d: %w", line, err)
+		}
+		for i, field := range rec {
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d column %q: %w", line, header[i], err)
+			}
+			row[colFor[i]] = v
+		}
+		if err := out.Insert(row); err != nil {
+			return nil, fmt.Errorf("relation: line %d: %w", line, err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package relation
+
+import "fmt"
+
+// EachTuple calls fn for every tuple in the cartesian product of the
+// schema's attribute domains, in mixed-radix order (last attribute varies
+// fastest). The tuple passed to fn is reused between calls; fn must copy it
+// if it retains it. If fn returns false, enumeration stops early.
+//
+// The total number of tuples is the product of the domain sizes; callers are
+// responsible for keeping that small (the paper's modules have <= ~10
+// attributes, section 3.2 remark).
+func EachTuple(s *Schema, fn func(Tuple) bool) {
+	n := s.Len()
+	t := make(Tuple, n)
+	for {
+		if !fn(t) {
+			return
+		}
+		// Increment as a mixed-radix counter.
+		i := n - 1
+		for ; i >= 0; i-- {
+			t[i]++
+			if t[i] < s.Attr(i).Domain {
+				break
+			}
+			t[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// AllTuples materializes the full cartesian product of the schema's domains.
+func AllTuples(s *Schema) []Tuple {
+	size, ok := s.DomainProduct(s.Names())
+	if !ok || size > 1<<24 {
+		panic(fmt.Sprintf("relation: domain product of %v too large to materialize", s))
+	}
+	out := make([]Tuple, 0, size)
+	EachTuple(s, func(t Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
+// Encode packs a tuple into a single mixed-radix integer, the inverse of
+// Decode. It panics if the schema's domain product exceeds uint64.
+func Encode(s *Schema, t Tuple) uint64 {
+	var code uint64
+	for i := 0; i < s.Len(); i++ {
+		code = code*uint64(s.Attr(i).Domain) + uint64(t[i])
+	}
+	return code
+}
+
+// Decode unpacks a mixed-radix integer produced by Encode into a tuple.
+func Decode(s *Schema, code uint64) Tuple {
+	n := s.Len()
+	t := make(Tuple, n)
+	for i := n - 1; i >= 0; i-- {
+		d := uint64(s.Attr(i).Domain)
+		t[i] = Value(code % d)
+		code /= d
+	}
+	return t
+}
+
+// Universe returns the full relation over the schema: one row per tuple in
+// the cartesian product of the domains.
+func Universe(s *Schema) *Relation {
+	r := New(s)
+	EachTuple(s, func(t Tuple) bool {
+		_ = r.Insert(t)
+		return true
+	})
+	return r
+}

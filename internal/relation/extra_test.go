@@ -1,0 +1,216 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Large-domain values exercise the multi-byte branch of the row-key
+// encoding; distinct tuples must stay distinct.
+func TestLargeDomainKeyEncoding(t *testing.T) {
+	s := MustSchema(Attribute{"id", 1000}, Attribute{"v", 600})
+	r := New(s)
+	values := []Tuple{
+		{249, 250}, {250, 249}, {250, 250}, {499, 500}, {500, 499},
+		{999, 0}, {0, 599}, {250, 0}, {0, 250}, {750, 1},
+	}
+	for _, v := range values {
+		if err := r.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != len(values) {
+		t.Fatalf("len = %d, want %d (key collision?)", r.Len(), len(values))
+	}
+	for _, v := range values {
+		if !r.Contains(v) {
+			t.Errorf("lost tuple %v", v)
+		}
+	}
+	if r.Contains(Tuple{499, 499}) {
+		t.Error("phantom tuple present")
+	}
+}
+
+// Property: no two distinct tuples over a large mixed-radix schema collide
+// in the relation (Insert treats them as different rows).
+func TestQuickNoKeyCollisions(t *testing.T) {
+	s := MustSchema(Attribute{"a", 777}, Attribute{"b", 300}, Attribute{"c", 2})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(s)
+		seen := make(map[[3]int]bool)
+		for i := 0; i < 60; i++ {
+			tp := Tuple{rng.Intn(777), rng.Intn(300), rng.Intn(2)}
+			seen[[3]int{tp[0], tp[1], tp[2]}] = true
+			if err := r.Insert(tp); err != nil {
+				return false
+			}
+		}
+		return r.Len() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedRowsIsLexicographic(t *testing.T) {
+	s := MustSchema(Bools("a", "b", "c")...)
+	r := MustFromRows(s, [][]Value{
+		{1, 1, 1}, {0, 0, 0}, {1, 0, 1}, {0, 1, 0},
+	})
+	rows := r.SortedRows()
+	if !sort.SliceIsSorted(rows, func(i, j int) bool {
+		return lessTuple(rows[i], rows[j])
+	}) {
+		t.Fatalf("rows not sorted: %v", rows)
+	}
+	if !rows[0].Equal(Tuple{0, 0, 0}) || !rows[3].Equal(Tuple{1, 1, 1}) {
+		t.Fatalf("order wrong: %v", rows)
+	}
+}
+
+func TestLessTupleEdgeCases(t *testing.T) {
+	if lessTuple(Tuple{1}, Tuple{1}) {
+		t.Error("equal tuples compared less")
+	}
+	if !lessTuple(Tuple{1}, Tuple{1, 0}) {
+		t.Error("prefix not less than extension")
+	}
+	if lessTuple(Tuple{2}, Tuple{1, 9}) {
+		t.Error("ordering ignores first column")
+	}
+}
+
+func TestNameSetOperations(t *testing.T) {
+	a := NewNameSet("x", "y", "z")
+	b := NewNameSet("y", "w")
+	if got := a.Union(b); len(got) != 4 {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewNameSet("x", "z")) {
+		t.Errorf("minus = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewNameSet("y")) {
+		t.Errorf("intersect = %v", got)
+	}
+	if !NewNameSet("x").SubsetOf(a) || b.SubsetOf(a) {
+		t.Error("subset wrong")
+	}
+	if a.String() != "{x, y, z}" {
+		t.Errorf("String = %q", a.String())
+	}
+	if got := a.FilterSorted([]string{"z", "w", "x"}); len(got) != 2 || got[0] != "z" {
+		t.Errorf("FilterSorted = %v", got)
+	}
+	c := a.Clone()
+	c.Add("q")
+	if a.Has("q") {
+		t.Error("Clone aliases the original")
+	}
+}
+
+// Property: set algebra identities — (A∪B)\B ⊆ A and A∩B ⊆ A ⊆ A∪B.
+func TestQuickNameSetAlgebra(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := make(NameSet), make(NameSet)
+		for _, n := range names {
+			if rng.Intn(2) == 0 {
+				a.Add(n)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(n)
+			}
+		}
+		u := a.Union(b)
+		return u.Minus(b).SubsetOf(a) &&
+			a.Intersect(b).SubsetOf(a) &&
+			a.SubsetOf(u) &&
+			a.Minus(a).Equal(NewNameSet())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniverseAndDecodeLargeSchema(t *testing.T) {
+	s := MustSchema(Attribute{"x", 5}, Attribute{"y", 3})
+	u := Universe(s)
+	if u.Len() != 15 {
+		t.Fatalf("universe = %d, want 15", u.Len())
+	}
+	for code := uint64(0); code < 15; code++ {
+		if got := Encode(s, Decode(s, code)); got != code {
+			t.Fatalf("Encode(Decode(%d)) = %d", code, got)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustSchema(Attribute{"a1", 2}, Attribute{"id", 100}, Attribute{"v", 5})
+	r := MustFromRows(s, [][]Value{
+		{0, 42, 3}, {1, 7, 0}, {0, 99, 4},
+	})
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(s, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Fatalf("round trip changed relation:\n%v\nvs\n%v", back, r)
+	}
+}
+
+func TestReadCSVColumnReordering(t *testing.T) {
+	s := MustSchema(Bools("a", "b")...)
+	in := "b,a\n1,0\n0,1\n"
+	r, err := ReadCSV(s, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(Tuple{0, 1}) || !r.Contains(Tuple{1, 0}) {
+		t.Fatalf("reordered columns misread: %v", r)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := MustSchema(Bools("a", "b")...)
+	cases := map[string]string{
+		"missing column":   "a\n0\n",
+		"unknown column":   "a,zz\n0,0\n",
+		"duplicate column": "a,a\n0,0\n",
+		"non-integer":      "a,b\nx,0\n",
+		"out of domain":    "a,b\n0,5\n",
+		"ragged row":       "a,b\n0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(s, strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// Property: CSV round trip is the identity on random relations.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	s := MustSchema(Attribute{"x", 4}, Attribute{"y", 3}, Attribute{"z", 2})
+	f := func(seed int64) bool {
+		r := randomRelation(s, seed, 12)
+		var buf strings.Builder
+		if err := r.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(s, strings.NewReader(buf.String()))
+		return err == nil && back.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

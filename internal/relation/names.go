@@ -1,0 +1,114 @@
+package relation
+
+import (
+	"sort"
+	"strings"
+)
+
+// NameSet is a set of attribute names. It is the currency of the privacy
+// layers: visible sets V, hidden sets V̄, and per-module candidate hidden
+// sets are all NameSets.
+type NameSet map[string]struct{}
+
+// NewNameSet builds a set from the given names.
+func NewNameSet(names ...string) NameSet {
+	s := make(NameSet, len(names))
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s NameSet) Has(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Add inserts a name and returns the set for chaining.
+func (s NameSet) Add(name string) NameSet {
+	s[name] = struct{}{}
+	return s
+}
+
+// Clone returns a copy.
+func (s NameSet) Clone() NameSet {
+	c := make(NameSet, len(s))
+	for n := range s {
+		c[n] = struct{}{}
+	}
+	return c
+}
+
+// Union returns s ∪ t as a new set.
+func (s NameSet) Union(t NameSet) NameSet {
+	c := s.Clone()
+	for n := range t {
+		c[n] = struct{}{}
+	}
+	return c
+}
+
+// Minus returns s \ t as a new set.
+func (s NameSet) Minus(t NameSet) NameSet {
+	c := make(NameSet)
+	for n := range s {
+		if !t.Has(n) {
+			c[n] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s NameSet) Intersect(t NameSet) NameSet {
+	c := make(NameSet)
+	for n := range s {
+		if t.Has(n) {
+			c[n] = struct{}{}
+		}
+	}
+	return c
+}
+
+// SubsetOf reports whether every name in s is in t.
+func (s NameSet) SubsetOf(t NameSet) bool {
+	for n := range s {
+		if !t.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s NameSet) Equal(t NameSet) bool {
+	return len(s) == len(t) && s.SubsetOf(t)
+}
+
+// Sorted returns the names in sorted order.
+func (s NameSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders as "{a, b, c}".
+func (s NameSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ", ") + "}"
+}
+
+// FilterSorted returns the members of names (preserving order) that are in
+// the set.
+func (s NameSet) FilterSorted(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if s.Has(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

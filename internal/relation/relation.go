@@ -1,0 +1,564 @@
+// Package relation implements finite relations over named attributes with
+// small finite domains. It is the storage substrate for the module-privacy
+// library: module functionalities, workflow provenance relations and their
+// views are all values of type Relation.
+//
+// The representation follows the paper's model (Davidson et al., PODS 2011,
+// section 2): every attribute a has a finite domain ∆a = {0, 1, ..., |∆a|-1},
+// a tuple assigns one domain value per attribute, and a relation is a set of
+// tuples over a fixed schema. Functional dependencies I → O are first-class
+// so that module relations (which must satisfy I → O) can be validated.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a single attribute value. Domains are dense integer ranges
+// starting at zero, so a Value v over attribute a satisfies 0 <= v < |∆a|.
+type Value = int
+
+// Attribute describes one column: a globally unique name and the size of its
+// finite domain. In the paper every data item in a workflow is an attribute;
+// boolean data has Domain == 2.
+type Attribute struct {
+	// Name identifies the attribute. Within a workflow, names are shared
+	// between the producing module's output and consuming modules' inputs.
+	Name string
+	// Domain is |∆a|, the number of distinct values the attribute takes.
+	// It must be at least 1.
+	Domain int
+}
+
+// Bool returns a boolean attribute (domain size 2) with the given name.
+func Bool(name string) Attribute { return Attribute{Name: name, Domain: 2} }
+
+// Bools returns boolean attributes for each given name, in order.
+func Bools(names ...string) []Attribute {
+	attrs := make([]Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = Bool(n)
+	}
+	return attrs
+}
+
+// Schema is an ordered list of distinct attributes. The order fixes the
+// column layout of tuples in a Relation.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. It returns an error
+// if a name repeats or a domain size is non-positive.
+func NewSchema(attrs []Attribute) (*Schema, error) {
+	s := &Schema{
+		attrs: append([]Attribute(nil), attrs...),
+		index: make(map[string]int, len(attrs)),
+	}
+	for i, a := range s.attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relation: attribute %d has empty name", i)
+		}
+		if a.Domain < 1 {
+			return nil, fmt.Errorf("relation: attribute %q has domain %d; want >= 1", a.Name, a.Domain)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q", a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// statically known schemas in tests and examples.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute { return append([]Attribute(nil), s.attrs...) }
+
+// Names returns the attribute names in column order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// IndexOf returns the column index of the named attribute, or -1 if the
+// schema does not contain it.
+func (s *Schema) IndexOf(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool { return s.IndexOf(name) >= 0 }
+
+// Columns maps attribute names to column indices. It returns an error if any
+// name is missing.
+func (s *Schema) Columns(names []string) ([]int, error) {
+	cols := make([]int, len(names))
+	for i, n := range names {
+		c := s.IndexOf(n)
+		if c < 0 {
+			return nil, fmt.Errorf("relation: schema has no attribute %q", n)
+		}
+		cols[i] = c
+	}
+	return cols, nil
+}
+
+// Equal reports whether two schemas have the same attributes in the same
+// order.
+func (s *Schema) Equal(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != t.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new schema containing the named attributes, in the given
+// order.
+func (s *Schema) Project(names []string) (*Schema, error) {
+	cols, err := s.Columns(names)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]Attribute, len(cols))
+	for i, c := range cols {
+		attrs[i] = s.attrs[c]
+	}
+	return NewSchema(attrs)
+}
+
+// DomainProduct returns the product of the domain sizes of the named
+// attributes, i.e. the number of distinct tuples over them. The second
+// result is false if the product overflows uint64 (treated as "huge").
+func (s *Schema) DomainProduct(names []string) (uint64, bool) {
+	prod := uint64(1)
+	for _, n := range names {
+		i := s.IndexOf(n)
+		if i < 0 {
+			return 0, false
+		}
+		d := uint64(s.attrs[i].Domain)
+		if d != 0 && prod > ^uint64(0)/d {
+			return 0, false
+		}
+		prod *= d
+	}
+	return prod, true
+}
+
+// String returns a compact rendering such as "(a1:2, a2:2, a3:2)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", a.Name, a.Domain)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Tuple is a row: one Value per schema column.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a set of tuples over a schema. The zero Relation is not
+// usable; construct with New.
+//
+// Relations deduplicate on insert, so they have set (not bag) semantics,
+// matching the paper's model where a provenance relation is the set of
+// executions.
+type Relation struct {
+	schema *Schema
+	rows   []Tuple
+	seen   map[string]struct{}
+}
+
+// New returns an empty relation over the schema.
+func New(schema *Schema) *Relation {
+	return &Relation{schema: schema, seen: make(map[string]struct{})}
+}
+
+// FromRows builds a relation from literal rows, validating arity and domain
+// bounds. Duplicate rows are silently merged.
+func FromRows(schema *Schema, rows [][]Value) (*Relation, error) {
+	r := New(schema)
+	for i, row := range rows {
+		if err := r.Insert(row); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return r, nil
+}
+
+// MustFromRows is like FromRows but panics on error.
+func MustFromRows(schema *Schema, rows [][]Value) *Relation {
+	r, err := FromRows(schema, rows)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of (distinct) tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Row returns the i-th tuple. The returned slice must not be modified.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Rows returns the underlying tuples. The result must not be modified.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// key encodes a tuple restricted to the given columns as a map key.
+func key(row Tuple, cols []int) string {
+	// Values are small; a byte-oriented encoding with separators is
+	// unambiguous and fast enough for the instance sizes in this library.
+	var b strings.Builder
+	b.Grow(len(cols) * 3)
+	for _, c := range cols {
+		v := row[c]
+		for v >= 250 {
+			b.WriteByte(250)
+			v -= 250
+		}
+		b.WriteByte(byte(v))
+		b.WriteByte(255)
+	}
+	return b.String()
+}
+
+func allCols(n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// Insert adds a tuple. It validates arity and domain bounds and ignores
+// exact duplicates. The tuple is copied.
+func (r *Relation) Insert(row Tuple) error {
+	if len(row) != r.schema.Len() {
+		return fmt.Errorf("relation: tuple arity %d does not match schema arity %d", len(row), r.schema.Len())
+	}
+	for i, v := range row {
+		if v < 0 || v >= r.schema.Attr(i).Domain {
+			return fmt.Errorf("relation: value %d out of domain [0,%d) for attribute %q",
+				v, r.schema.Attr(i).Domain, r.schema.Attr(i).Name)
+		}
+	}
+	k := key(row, allCols(len(row)))
+	if _, dup := r.seen[k]; dup {
+		return nil
+	}
+	r.seen[k] = struct{}{}
+	r.rows = append(r.rows, row.Clone())
+	return nil
+}
+
+// Contains reports whether the relation holds the exact tuple.
+func (r *Relation) Contains(row Tuple) bool {
+	if len(row) != r.schema.Len() {
+		return false
+	}
+	_, ok := r.seen[key(row, allCols(len(row)))]
+	return ok
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := New(r.schema)
+	for _, row := range r.rows {
+		// Rows already validated; Insert cannot fail.
+		_ = c.Insert(row)
+	}
+	return c
+}
+
+// Project returns π_names(r): the relation restricted to the named columns,
+// with duplicates removed. Column order follows names.
+func (r *Relation) Project(names []string) (*Relation, error) {
+	cols, err := r.schema.Columns(names)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := r.schema.Project(names)
+	if err != nil {
+		return nil, err
+	}
+	out := New(sub)
+	buf := make(Tuple, len(cols))
+	for _, row := range r.rows {
+		for i, c := range cols {
+			buf[i] = row[c]
+		}
+		if err := out.Insert(buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MustProject is like Project but panics on error.
+func (r *Relation) MustProject(names ...string) *Relation {
+	out, err := r.Project(names)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ProjectTuple projects a single tuple of this relation's schema onto the
+// named attributes.
+func (r *Relation) ProjectTuple(row Tuple, names []string) (Tuple, error) {
+	cols, err := r.schema.Columns(names)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = row[c]
+	}
+	return out, nil
+}
+
+// Select returns the tuples satisfying pred, over the same schema.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.schema)
+	for _, row := range r.rows {
+		if pred(row) {
+			_ = out.Insert(row)
+		}
+	}
+	return out
+}
+
+// Equal reports set equality of two relations. Schemas must be equal
+// (same attributes, same order).
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.schema.Equal(o.schema) || r.Len() != o.Len() {
+		return false
+	}
+	for _, row := range o.rows {
+		if !r.Contains(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesFD reports whether the functional dependency lhs → rhs holds,
+// i.e. no two tuples agree on lhs but differ on rhs.
+func (r *Relation) SatisfiesFD(lhs, rhs []string) (bool, error) {
+	lcols, err := r.schema.Columns(lhs)
+	if err != nil {
+		return false, err
+	}
+	rcols, err := r.schema.Columns(rhs)
+	if err != nil {
+		return false, err
+	}
+	seen := make(map[string]string, len(r.rows))
+	for _, row := range r.rows {
+		lk := key(row, lcols)
+		rk := key(row, rcols)
+		if prev, ok := seen[lk]; ok {
+			if prev != rk {
+				return false, nil
+			}
+			continue
+		}
+		seen[lk] = rk
+	}
+	return true, nil
+}
+
+// GroupBy partitions the relation's rows by the named attributes and returns
+// the groups in first-seen order. Each group shares the grouped values.
+func (r *Relation) GroupBy(names []string) ([][]Tuple, error) {
+	cols, err := r.schema.Columns(names)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]string, 0, 8)
+	groups := make(map[string][]Tuple)
+	for _, row := range r.rows {
+		k := key(row, cols)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	out := make([][]Tuple, len(order))
+	for i, k := range order {
+		out[i] = groups[k]
+	}
+	return out, nil
+}
+
+// CountDistinct returns the number of distinct projections of the rows onto
+// the named attributes. An empty name list yields 1 when the relation is
+// non-empty and 0 otherwise.
+func (r *Relation) CountDistinct(names []string) (int, error) {
+	cols, err := r.schema.Columns(names)
+	if err != nil {
+		return 0, err
+	}
+	if len(cols) == 0 {
+		if r.Len() == 0 {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	seen := make(map[string]struct{}, len(r.rows))
+	for _, row := range r.rows {
+		seen[key(row, cols)] = struct{}{}
+	}
+	return len(seen), nil
+}
+
+// Join computes the natural join r ⋈ o on all attributes with shared names.
+// Shared attributes must have equal domain sizes. The result schema is r's
+// attributes followed by o's non-shared attributes.
+func (r *Relation) Join(o *Relation) (*Relation, error) {
+	shared := make([]string, 0, 4)
+	extra := make([]Attribute, 0, o.schema.Len())
+	for i := 0; i < o.schema.Len(); i++ {
+		a := o.schema.Attr(i)
+		if j := r.schema.IndexOf(a.Name); j >= 0 {
+			if r.schema.Attr(j).Domain != a.Domain {
+				return nil, fmt.Errorf("relation: join attribute %q has domain %d vs %d",
+					a.Name, r.schema.Attr(j).Domain, a.Domain)
+			}
+			shared = append(shared, a.Name)
+		} else {
+			extra = append(extra, a)
+		}
+	}
+	outSchema, err := NewSchema(append(r.schema.Attrs(), extra...))
+	if err != nil {
+		return nil, err
+	}
+	rShared, _ := r.schema.Columns(shared)
+	oShared, _ := o.schema.Columns(shared)
+	extraCols := make([]int, len(extra))
+	for i, a := range extra {
+		extraCols[i] = o.schema.IndexOf(a.Name)
+	}
+
+	// Hash join on the shared attributes.
+	buckets := make(map[string][]Tuple, o.Len())
+	for _, row := range o.rows {
+		k := key(row, oShared)
+		buckets[k] = append(buckets[k], row)
+	}
+	out := New(outSchema)
+	buf := make(Tuple, outSchema.Len())
+	for _, left := range r.rows {
+		for _, right := range buckets[key(left, rShared)] {
+			copy(buf, left)
+			for i, c := range extraCols {
+				buf[r.schema.Len()+i] = right[c]
+			}
+			if err := out.Insert(buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// SortedRows returns the tuples in lexicographic order. The relation itself
+// is unmodified; row slices are shared.
+func (r *Relation) SortedRows() []Tuple {
+	rows := append([]Tuple(nil), r.rows...)
+	sort.Slice(rows, func(i, j int) bool { return lessTuple(rows[i], rows[j]) })
+	return rows
+}
+
+func lessTuple(a, b Tuple) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// String renders the relation as an aligned table, rows sorted, suitable for
+// golden tests and example output.
+func (r *Relation) String() string {
+	var b strings.Builder
+	names := r.schema.Names()
+	b.WriteString(strings.Join(names, " "))
+	b.WriteByte('\n')
+	for _, row := range r.SortedRows() {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			pad := len(names[i]) - 1
+			fmt.Fprintf(&b, "%*d", -pad-1, v)
+		}
+		// Trim trailing spaces introduced by padding.
+		for b.Len() > 0 && b.String()[b.Len()-1] == ' ' {
+			s := b.String()[:b.Len()-1]
+			b.Reset()
+			b.WriteString(s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

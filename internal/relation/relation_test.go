@@ -1,0 +1,473 @@
+package relation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		attrs   []Attribute
+		wantErr bool
+	}{
+		{"ok", Bools("a", "b", "c"), false},
+		{"empty", nil, false},
+		{"dup name", []Attribute{Bool("a"), Bool("a")}, true},
+		{"zero domain", []Attribute{{Name: "a", Domain: 0}}, true},
+		{"negative domain", []Attribute{{Name: "a", Domain: -3}}, true},
+		{"empty name", []Attribute{{Name: "", Domain: 2}}, true},
+		{"big domain ok", []Attribute{{Name: "id", Domain: 1000}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSchema(tc.attrs)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewSchema(%v) err = %v, wantErr %v", tc.attrs, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := MustSchema(Bool("a1"), Attribute{Name: "id", Domain: 7}, Bool("a3"))
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := s.IndexOf("id"); got != 1 {
+		t.Errorf("IndexOf(id) = %d, want 1", got)
+	}
+	if got := s.IndexOf("missing"); got != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", got)
+	}
+	if !s.Has("a3") || s.Has("a4") {
+		t.Errorf("Has: a3=%v a4=%v, want true false", s.Has("a3"), s.Has("a4"))
+	}
+	cols, err := s.Columns([]string{"a3", "a1"})
+	if err != nil || cols[0] != 2 || cols[1] != 0 {
+		t.Errorf("Columns = %v, %v; want [2 0], nil", cols, err)
+	}
+	if _, err := s.Columns([]string{"nope"}); err == nil {
+		t.Error("Columns(nope) succeeded, want error")
+	}
+}
+
+func TestSchemaProjectAndEqual(t *testing.T) {
+	s := MustSchema(Bools("a", "b", "c")...)
+	p, err := s.Project([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Names(); got[0] != "c" || got[1] != "a" {
+		t.Errorf("projected names = %v", got)
+	}
+	if !s.Equal(MustSchema(Bools("a", "b", "c")...)) {
+		t.Error("Equal(self-copy) = false")
+	}
+	if s.Equal(p) {
+		t.Error("Equal(projection) = true")
+	}
+}
+
+func TestSchemaDomainProduct(t *testing.T) {
+	s := MustSchema(Attribute{"x", 3}, Attribute{"y", 5}, Attribute{"z", 2})
+	if got, ok := s.DomainProduct([]string{"x", "y"}); !ok || got != 15 {
+		t.Errorf("DomainProduct(x,y) = %d,%v want 15,true", got, ok)
+	}
+	if got, ok := s.DomainProduct(nil); !ok || got != 1 {
+		t.Errorf("DomainProduct() = %d,%v want 1,true", got, ok)
+	}
+	if _, ok := s.DomainProduct([]string{"missing"}); ok {
+		t.Error("DomainProduct(missing) ok = true, want false")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	r := New(MustSchema(Bools("a", "b")...))
+	if err := r.Insert(Tuple{0, 1}); err != nil {
+		t.Fatalf("valid insert: %v", err)
+	}
+	if err := r.Insert(Tuple{0}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if err := r.Insert(Tuple{0, 2}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if err := r.Insert(Tuple{-1, 0}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestInsertDeduplicates(t *testing.T) {
+	r := New(MustSchema(Bools("a", "b")...))
+	for i := 0; i < 5; i++ {
+		if err := r.Insert(Tuple{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate inserts, want 1", r.Len())
+	}
+	if !r.Contains(Tuple{1, 0}) || r.Contains(Tuple{0, 0}) {
+		t.Error("Contains gives wrong membership")
+	}
+}
+
+func TestInsertCopiesTuple(t *testing.T) {
+	r := New(MustSchema(Bools("a")...))
+	row := Tuple{0}
+	_ = r.Insert(row)
+	row[0] = 1
+	if !r.Contains(Tuple{0}) {
+		t.Error("relation row aliased caller's slice")
+	}
+}
+
+// fig1WorkflowRelation is relation R from Figure 1(b) of the paper.
+func fig1WorkflowRelation() *Relation {
+	s := MustSchema(Bools("a1", "a2", "a3", "a4", "a5", "a6", "a7")...)
+	return MustFromRows(s, [][]Value{
+		{0, 0, 0, 1, 1, 1, 0},
+		{0, 1, 1, 1, 0, 0, 1},
+		{1, 0, 1, 1, 0, 0, 1},
+		{1, 1, 1, 0, 1, 1, 1},
+	})
+}
+
+// fig1ModuleRelation is R1, module m1's functionality, Figure 1(c).
+func fig1ModuleRelation() *Relation {
+	s := MustSchema(Bools("a1", "a2", "a3", "a4", "a5")...)
+	return MustFromRows(s, [][]Value{
+		{0, 0, 0, 1, 1},
+		{0, 1, 1, 1, 0},
+		{1, 0, 1, 1, 0},
+		{1, 1, 1, 0, 1},
+	})
+}
+
+func TestProjectFigure1(t *testing.T) {
+	// π_{a1,a3,a5}(R1) must equal R_V in Figure 1(d).
+	r1 := fig1ModuleRelation()
+	rv, err := r1.Project([]string{"a1", "a3", "a5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromRows(MustSchema(Bools("a1", "a3", "a5")...), [][]Value{
+		{0, 0, 1},
+		{0, 1, 0},
+		{1, 1, 0},
+		{1, 1, 1},
+	})
+	if !rv.Equal(want) {
+		t.Fatalf("π_V(R1) =\n%v\nwant\n%v", rv, want)
+	}
+}
+
+func TestProjectDeduplicates(t *testing.T) {
+	r := fig1ModuleRelation()
+	p := r.MustProject("a4")
+	if p.Len() != 2 {
+		t.Fatalf("distinct a4 values = %d, want 2", p.Len())
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	r := fig1ModuleRelation()
+	if _, err := r.Project([]string{"zz"}); err == nil {
+		t.Error("Project(zz) succeeded")
+	}
+}
+
+func TestProjectTuple(t *testing.T) {
+	r := fig1ModuleRelation()
+	got, err := r.ProjectTuple(Tuple{0, 1, 1, 1, 0}, []string{"a5", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Tuple{0, 0}) {
+		t.Fatalf("ProjectTuple = %v, want [0 0]", got)
+	}
+}
+
+func TestSatisfiesFDFigure1(t *testing.T) {
+	r := fig1WorkflowRelation()
+	for _, fd := range []struct {
+		lhs, rhs []string
+		want     bool
+	}{
+		{[]string{"a1", "a2"}, []string{"a3", "a4", "a5"}, true}, // m1
+		{[]string{"a3", "a4"}, []string{"a6"}, true},             // m2
+		{[]string{"a4", "a5"}, []string{"a7"}, true},             // m3
+		{[]string{"a1"}, []string{"a3"}, false},                  // a1=0 maps to a3∈{0,1}
+		{[]string{"a6"}, []string{"a7"}, false},
+	} {
+		got, err := r.SatisfiesFD(fd.lhs, fd.rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fd.want {
+			t.Errorf("FD %v -> %v = %v, want %v", fd.lhs, fd.rhs, got, fd.want)
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	r := fig1WorkflowRelation()
+	groups, err := r.GroupBy([]string{"a3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		for _, row := range g {
+			if row[2] != g[0][2] {
+				t.Error("group mixes a3 values")
+			}
+		}
+	}
+	if total != r.Len() {
+		t.Errorf("group sizes sum to %d, want %d", total, r.Len())
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	r := fig1WorkflowRelation()
+	if n, _ := r.CountDistinct([]string{"a3", "a5"}); n != 3 {
+		t.Errorf("distinct (a3,a5) = %d, want 3", n)
+	}
+	if n, _ := r.CountDistinct(nil); n != 1 {
+		t.Errorf("distinct () on non-empty = %d, want 1", n)
+	}
+	empty := New(r.Schema())
+	if n, _ := empty.CountDistinct(nil); n != 0 {
+		t.Errorf("distinct () on empty = %d, want 0", n)
+	}
+}
+
+func TestJoinReconstructsWorkflowRelation(t *testing.T) {
+	// R = R1 ⋈ R2 ⋈ R3 restricted to executed inputs (paper section 4).
+	r1 := fig1ModuleRelation()
+	// R2: a3 a4 -> a6 = a3∧a4? From R: rows (a3,a4,a6): (0,1,1),(1,1,0),(1,0,1).
+	r2 := MustFromRows(MustSchema(Bools("a3", "a4", "a6")...), [][]Value{
+		{0, 1, 1}, {1, 1, 0}, {1, 0, 1},
+	})
+	r3 := MustFromRows(MustSchema(Bools("a4", "a5", "a7")...), [][]Value{
+		{1, 1, 0}, {1, 0, 1}, {0, 1, 1},
+	})
+	j, err := r1.Join(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err = j.Join(r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fig1WorkflowRelation()
+	got, err := j.Project(want.Schema().Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("join =\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestJoinDomainMismatch(t *testing.T) {
+	a := New(MustSchema(Attribute{"x", 2}))
+	b := New(MustSchema(Attribute{"x", 3}))
+	if _, err := a.Join(b); err == nil {
+		t.Error("join with mismatched domains succeeded")
+	}
+}
+
+func TestJoinDisjointIsCrossProduct(t *testing.T) {
+	a := MustFromRows(MustSchema(Bool("x")), [][]Value{{0}, {1}})
+	b := MustFromRows(MustSchema(Bool("y")), [][]Value{{0}, {1}})
+	j, err := a.Join(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 4 {
+		t.Fatalf("cross product size = %d, want 4", j.Len())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := fig1WorkflowRelation()
+	sel := r.Select(func(t Tuple) bool { return t[0] == 0 })
+	if sel.Len() != 2 {
+		t.Fatalf("Select a1=0 size = %d, want 2", sel.Len())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := fig1WorkflowRelation()
+	c := r.Clone()
+	_ = c.Insert(Tuple{0, 0, 0, 0, 0, 0, 0})
+	if r.Len() == c.Len() {
+		t.Error("Clone shares storage with original")
+	}
+	if !r.Equal(fig1WorkflowRelation()) {
+		t.Error("original mutated by clone insert")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := fig1WorkflowRelation()
+	b := fig1WorkflowRelation()
+	if !a.Equal(b) {
+		t.Error("identical relations not Equal")
+	}
+	_ = b.Insert(Tuple{1, 1, 1, 1, 1, 1, 1})
+	if a.Equal(b) {
+		t.Error("relations of different size Equal")
+	}
+}
+
+func TestEachTupleOrderAndCount(t *testing.T) {
+	s := MustSchema(Attribute{"x", 2}, Attribute{"y", 3})
+	var got []Tuple
+	EachTuple(s, func(t Tuple) bool {
+		got = append(got, t.Clone())
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("enumerated %d tuples, want 6", len(got))
+	}
+	if !got[0].Equal(Tuple{0, 0}) || !got[1].Equal(Tuple{0, 1}) || !got[5].Equal(Tuple{1, 2}) {
+		t.Errorf("enumeration order wrong: %v", got)
+	}
+}
+
+func TestEachTupleEarlyStop(t *testing.T) {
+	s := MustSchema(Bools("a", "b", "c")...)
+	n := 0
+	EachTuple(s, func(Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d tuples, want 3", n)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := MustSchema(Attribute{"x", 3}, Attribute{"y", 4}, Attribute{"z", 2})
+	seen := make(map[uint64]bool)
+	EachTuple(s, func(tp Tuple) bool {
+		code := Encode(s, tp)
+		if seen[code] {
+			t.Fatalf("Encode collision at %v", tp)
+		}
+		seen[code] = true
+		if got := Decode(s, code); !got.Equal(tp) {
+			t.Fatalf("Decode(Encode(%v)) = %v", tp, got)
+		}
+		return true
+	})
+	if len(seen) != 24 {
+		t.Fatalf("codes = %d, want 24", len(seen))
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	s := MustSchema(Bools("a", "b")...)
+	u := Universe(s)
+	if u.Len() != 4 {
+		t.Fatalf("universe size = %d, want 4", u.Len())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := MustFromRows(MustSchema(Bools("a", "b")...), [][]Value{{1, 0}, {0, 1}})
+	s := r.String()
+	if !strings.HasPrefix(s, "a b\n") {
+		t.Errorf("header wrong: %q", s)
+	}
+	if !strings.Contains(s, "0 1") || !strings.Contains(s, "1 0") {
+		t.Errorf("rows missing: %q", s)
+	}
+}
+
+// Property: projection onto all attributes is the identity.
+func TestQuickProjectIdentity(t *testing.T) {
+	s := MustSchema(Attribute{"x", 3}, Attribute{"y", 2}, Attribute{"z", 4})
+	f := func(seed int64) bool {
+		r := randomRelation(s, seed, 10)
+		p, err := r.Project(s.Names())
+		return err == nil && p.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |π_A(R)| <= |R| and projecting twice equals projecting once.
+func TestQuickProjectMonotoneIdempotent(t *testing.T) {
+	s := MustSchema(Attribute{"x", 3}, Attribute{"y", 2}, Attribute{"z", 4})
+	f := func(seed int64) bool {
+		r := randomRelation(s, seed, 12)
+		p, err := r.Project([]string{"x", "z"})
+		if err != nil || p.Len() > r.Len() {
+			return false
+		}
+		pp, err := p.Project([]string{"x", "z"})
+		return err == nil && pp.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: R ⋈ R = R (join is idempotent on identical schemas).
+func TestQuickJoinIdempotent(t *testing.T) {
+	s := MustSchema(Attribute{"x", 3}, Attribute{"y", 2})
+	f := func(seed int64) bool {
+		r := randomRelation(s, seed, 6)
+		j, err := r.Join(r)
+		return err == nil && j.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insert order does not affect set equality.
+func TestQuickInsertOrderIrrelevant(t *testing.T) {
+	s := MustSchema(Attribute{"x", 4}, Attribute{"y", 4})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([]Tuple, 8)
+		for i := range rows {
+			rows[i] = Tuple{rng.Intn(4), rng.Intn(4)}
+		}
+		a := New(s)
+		b := New(s)
+		for _, row := range rows {
+			_ = a.Insert(row)
+		}
+		for i := len(rows) - 1; i >= 0; i-- {
+			_ = b.Insert(rows[i])
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomRelation(s *Schema, seed int64, n int) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := New(s)
+	row := make(Tuple, s.Len())
+	for i := 0; i < n; i++ {
+		for j := 0; j < s.Len(); j++ {
+			row[j] = rng.Intn(s.Attr(j).Domain)
+		}
+		_ = r.Insert(row)
+	}
+	return r
+}

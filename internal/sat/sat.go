@@ -1,0 +1,248 @@
+// Package sat provides CNF formulas and a small DPLL satisfiability solver.
+//
+// It is a substrate for the Theorem 2 experiment of the paper (Davidson et
+// al., PODS 2011): deciding whether a visible subset is safe for a
+// succinctly described module is co-NP-hard via a reduction from UNSAT. The
+// solver cross-checks the reduction: the gadget module's view is safe iff
+// the formula is unsatisfiable.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Literal is a non-zero integer encoding a variable occurrence: +v means
+// variable v (1-based) positive, -v means negated.
+type Literal int
+
+// Var returns the 1-based variable index of the literal.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is un-negated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a conjunction of clauses over variables 1..Vars.
+type CNF struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// New validates and returns a CNF over n variables.
+func New(n int, clauses []Clause) (*CNF, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sat: negative variable count %d", n)
+	}
+	for i, c := range clauses {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("sat: clause %d is empty", i)
+		}
+		for _, l := range c {
+			if l == 0 || l.Var() > n {
+				return nil, fmt.Errorf("sat: clause %d has invalid literal %d over %d vars", i, l, n)
+			}
+		}
+	}
+	return &CNF{Vars: n, Clauses: clauses}, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(n int, clauses []Clause) *CNF {
+	f, err := New(n, clauses)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Eval evaluates the formula under a full assignment (assign[i] is the value
+// of variable i+1; 0 = false, anything else = true).
+func (f *CNF) Eval(assign []int) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			v := assign[l.Var()-1] != 0
+			if v == l.Positive() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable decides satisfiability with DPLL (unit propagation + first
+// unassigned variable branching). Exponential worst case, fine for the
+// gadget sizes used in experiments.
+func (f *CNF) Satisfiable() bool {
+	assign := make([]int8, f.Vars+1) // 0 unknown, 1 true, -1 false
+	return f.dpll(assign)
+}
+
+func (f *CNF) dpll(assign []int8) bool {
+	// Unit propagation to fixpoint.
+	var trail []int
+	for {
+		unit := 0
+		for _, c := range f.Clauses {
+			unassigned := 0
+			var last Literal
+			sat := false
+			for _, l := range c {
+				switch assign[l.Var()] {
+				case 0:
+					unassigned++
+					last = l
+				case 1:
+					if l.Positive() {
+						sat = true
+					}
+				case -1:
+					if !l.Positive() {
+						sat = true
+					}
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				// Conflict: undo trail.
+				for _, v := range trail {
+					assign[v] = 0
+				}
+				return false
+			}
+			if unassigned == 1 {
+				if last.Positive() {
+					assign[last.Var()] = 1
+				} else {
+					assign[last.Var()] = -1
+				}
+				trail = append(trail, last.Var())
+				unit = last.Var()
+			}
+		}
+		if unit == 0 {
+			break
+		}
+	}
+	// Find a branching variable.
+	branch := 0
+	for v := 1; v <= f.Vars; v++ {
+		if assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		// Full assignment, all clauses satisfied (no conflict above).
+		for _, v := range trail {
+			assign[v] = 0
+		}
+		return true
+	}
+	for _, val := range []int8{1, -1} {
+		assign[branch] = val
+		if f.dpll(assign) {
+			assign[branch] = 0
+			for _, v := range trail {
+				assign[v] = 0
+			}
+			return true
+		}
+	}
+	assign[branch] = 0
+	for _, v := range trail {
+		assign[v] = 0
+	}
+	return false
+}
+
+// CountSatisfying counts satisfying assignments by enumeration; only for
+// small Vars. Used by tests.
+func (f *CNF) CountSatisfying() int {
+	n := 0
+	assign := make([]int, f.Vars)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == f.Vars {
+			if f.Eval(assign) {
+				n++
+			}
+			return
+		}
+		for v := 0; v <= 1; v++ {
+			assign[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return n
+}
+
+// Random3CNF draws a uniform random 3-CNF with n variables and m clauses.
+// Each clause has three distinct variables with random polarities.
+func Random3CNF(n, m int, rng *rand.Rand) *CNF {
+	if n < 3 {
+		panic("sat: Random3CNF needs n >= 3")
+	}
+	clauses := make([]Clause, m)
+	for i := range clauses {
+		vars := rng.Perm(n)[:3]
+		c := make(Clause, 3)
+		for j, v := range vars {
+			l := Literal(v + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			c[j] = l
+		}
+		clauses[i] = c
+	}
+	return MustNew(n, clauses)
+}
+
+// Contradiction returns an unsatisfiable formula over n >= 1 variables:
+// (x1) ∧ (¬x1).
+func Contradiction(n int) *CNF {
+	return MustNew(n, []Clause{{1}, {-1}})
+}
+
+// Tautology returns a trivially satisfiable formula over n >= 1 variables:
+// (x1 ∨ ¬x1).
+func Tautology(n int) *CNF {
+	return MustNew(n, []Clause{{1, -1}})
+}
+
+// String renders the formula as "(x1 ∨ ¬x2) ∧ ...".
+func (f *CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		lits := make([]string, len(c))
+		for j, l := range c {
+			if l.Positive() {
+				lits[j] = fmt.Sprintf("x%d", l.Var())
+			} else {
+				lits[j] = fmt.Sprintf("¬x%d", l.Var())
+			}
+		}
+		parts[i] = "(" + strings.Join(lits, " ∨ ") + ")"
+	}
+	return strings.Join(parts, " ∧ ")
+}

@@ -1,0 +1,125 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, nil); err == nil {
+		t.Error("negative var count accepted")
+	}
+	if _, err := New(2, []Clause{{}}); err == nil {
+		t.Error("empty clause accepted")
+	}
+	if _, err := New(2, []Clause{{3}}); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+	if _, err := New(2, []Clause{{0}}); err == nil {
+		t.Error("zero literal accepted")
+	}
+	if _, err := New(2, []Clause{{1, -2}}); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	if Literal(-3).Var() != 3 || Literal(3).Var() != 3 {
+		t.Error("Var wrong")
+	}
+	if Literal(-3).Positive() || !Literal(3).Positive() {
+		t.Error("Positive wrong")
+	}
+}
+
+func TestEval(t *testing.T) {
+	// (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+	f := MustNew(3, []Clause{{1, -2}, {2, 3}})
+	cases := []struct {
+		assign []int
+		want   bool
+	}{
+		{[]int{1, 0, 0}, false},
+		{[]int{1, 1, 0}, true},
+		{[]int{0, 1, 0}, false},
+		{[]int{0, 0, 0}, false},
+		{[]int{0, 0, 1}, true},
+	}
+	for _, tc := range cases {
+		if got := f.Eval(tc.assign); got != tc.want {
+			t.Errorf("Eval(%v) = %v, want %v", tc.assign, got, tc.want)
+		}
+	}
+}
+
+func TestSatisfiableBasics(t *testing.T) {
+	if Contradiction(3).Satisfiable() {
+		t.Error("contradiction satisfiable")
+	}
+	if !Tautology(3).Satisfiable() {
+		t.Error("tautology unsatisfiable")
+	}
+	// Pigeonhole-ish small UNSAT: (x1)(x2)(¬x1 ∨ ¬x2)
+	f := MustNew(2, []Clause{{1}, {2}, {-1, -2}})
+	if f.Satisfiable() {
+		t.Error("unsat core satisfiable")
+	}
+	// Chain of implications, satisfiable.
+	g := MustNew(4, []Clause{{-1, 2}, {-2, 3}, {-3, 4}, {1}})
+	if !g.Satisfiable() {
+		t.Error("implication chain unsatisfiable")
+	}
+}
+
+func TestCountSatisfying(t *testing.T) {
+	// x1 ∨ x2 has 3 satisfying assignments over 2 vars.
+	f := MustNew(2, []Clause{{1, 2}})
+	if got := f.CountSatisfying(); got != 3 {
+		t.Errorf("CountSatisfying = %d, want 3", got)
+	}
+	if got := Contradiction(2).CountSatisfying(); got != 0 {
+		t.Errorf("contradiction count = %d, want 0", got)
+	}
+}
+
+// Property: DPLL agrees with brute-force enumeration on random 3-CNFs.
+func TestQuickDPLLMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random3CNF(6, 4+rng.Intn(30), rng)
+		return g.Satisfiable() == (g.CountSatisfying() > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandom3CNFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Random3CNF(8, 20, rng)
+	if g.Vars != 8 || len(g.Clauses) != 20 {
+		t.Fatalf("shape = %d vars %d clauses", g.Vars, len(g.Clauses))
+	}
+	for _, c := range g.Clauses {
+		if len(c) != 3 {
+			t.Fatal("clause not ternary")
+		}
+		seen := map[int]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Fatal("repeated variable in clause")
+			}
+			seen[l.Var()] = true
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	f := MustNew(2, []Clause{{1, -2}})
+	s := f.String()
+	if !strings.Contains(s, "x1") || !strings.Contains(s, "¬x2") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,226 @@
+package secureview
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/module"
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+func TestDeriveMatchesDeriveSet(t *testing.T) {
+	w := workflow.Fig1()
+	costs := privacy.Uniform(w.Schema().Names()...)
+	a, err := DeriveSet(w, 2, costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Derive(w, DeriveOptions{Gamma: 2, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solA, err := ExactSet(a, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solB, err := ExactSet(b, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost(solA) != b.Cost(solB) {
+		t.Fatalf("Derive cost %v != DeriveSet cost %v", b.Cost(solB), a.Cost(solA))
+	}
+}
+
+func TestDeriveParallelAgreesWithSequential(t *testing.T) {
+	w := workflow.Fig1()
+	costs := privacy.Uniform(w.Schema().Names()...)
+	seq, err := Derive(w, DeriveOptions{Gamma: 2, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Derive(w, DeriveOptions{Gamma: 2, Costs: costs, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Modules) != len(par.Modules) {
+		t.Fatal("module count differs")
+	}
+	for i := range seq.Modules {
+		if seq.Modules[i].Name != par.Modules[i].Name ||
+			len(seq.Modules[i].SetList) != len(par.Modules[i].SetList) {
+			t.Fatalf("module %d differs between sequential and parallel derivation", i)
+		}
+	}
+}
+
+func TestDerivePerModuleGamma(t *testing.T) {
+	w := workflow.Fig1()
+	costs := privacy.Uniform(w.Schema().Names()...)
+	// m1 has 3 output bits (range 8) so it supports Γ=4; the single-output
+	// modules m2, m3 stay at Γ=2.
+	p, err := Derive(w, DeriveOptions{
+		Gamma:          2,
+		GammaPerModule: map[string]uint64{"m1": 4},
+		Costs:          costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := ExactSet(p, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check standalone guarantees per module at their own Γ.
+	for _, m := range w.Modules() {
+		mv := privacy.NewModuleView(m)
+		gamma := uint64(2)
+		if m.Name() == "m1" {
+			gamma = 4
+		}
+		vis := relation.NewNameSet(mv.Attrs()...).Minus(sol.Hidden)
+		safe, err := mv.IsSafe(vis, gamma)
+		if err != nil || !safe {
+			t.Errorf("module %s not %d-private under solution %v", m.Name(), gamma, sol.Hidden)
+		}
+	}
+	// A uniform Γ=4 derivation must fail (m2/m3 cannot reach it)...
+	if _, err := Derive(w, DeriveOptions{Gamma: 4, Costs: costs}); err == nil {
+		t.Error("uniform Γ=4 accepted despite 1-bit modules")
+	}
+	// ...and so must a zero requirement.
+	if _, err := Derive(w, DeriveOptions{Costs: costs}); err == nil {
+		t.Error("missing Γ accepted")
+	}
+}
+
+func TestDeriveFromRecordedPartialLog(t *testing.T) {
+	// With only two executions recorded, the constant-looking behaviour of
+	// m3 over the log changes which subsets are safe.
+	w := workflow.Fig1()
+	costs := privacy.Uniform(w.Schema().Names()...)
+	partial, err := w.RelationOver([]relation.Tuple{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Derive(w, DeriveOptions{Gamma: 2, Costs: costs, Recorded: partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := ExactSet(p, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The solution must be safe for every module view over the log.
+	for _, m := range w.Modules() {
+		proj, err := partial.Project(m.AttrNames())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv := privacy.ModuleView{Rel: proj, Inputs: m.InputNames(), Outputs: m.OutputNames()}
+		vis := relation.NewNameSet(mv.Attrs()...).Minus(sol.Hidden)
+		safe, err := mv.IsSafe(vis, 2)
+		if err != nil || !safe {
+			t.Errorf("module %s unsafe over the recorded log", m.Name())
+		}
+	}
+	// Partial logs can be HARDER to protect: the two recorded rows give m2
+	// a single execution, so its visible outputs carry less ambiguity and
+	// more must be hidden (cost 3) than over the full domain (cost 2).
+	full, err := Derive(w, DeriveOptions{Gamma: 2, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSol, err := ExactSet(full, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Cost(sol), 3.0; got != want {
+		t.Errorf("partial-log cost = %v, want %v", got, want)
+	}
+	if got, want := full.Cost(fullSol), 2.0; got != want {
+		t.Errorf("full-domain cost = %v, want %v", got, want)
+	}
+}
+
+// Property: for random two-layer workflows, parallel and sequential
+// derivation produce identical instances, and the exact optimum is safe for
+// every module standalone.
+func TestQuickDeriveConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m1 := module.Random("m1", relation.Bools("x1", "x2"), relation.Bools("u1", "u2"), rng)
+		m2 := module.Random("m2", relation.Bools("u1", "u2"), relation.Bools("v1", "v2"), rng)
+		w, err := workflow.New("rand", m1, m2)
+		if err != nil {
+			return false
+		}
+		costs := privacy.Uniform(w.Schema().Names()...)
+		seq, err1 := Derive(w, DeriveOptions{Gamma: 2, Costs: costs})
+		par, err2 := Derive(w, DeriveOptions{Gamma: 2, Costs: costs, Parallel: true})
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil // both fail together (no safe subset)
+		}
+		sa, err1 := ExactSet(seq, 1<<20)
+		sb, err2 := ExactSet(par, 1<<20)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if seq.Cost(sa) != par.Cost(sb) {
+			return false
+		}
+		for _, m := range w.Modules() {
+			mv := privacy.NewModuleView(m)
+			vis := relation.NewNameSet(mv.Attrs()...).Minus(sa.Hidden)
+			safe, err := mv.IsSafe(vis, 2)
+			if err != nil || !safe {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveWithCacheAmortizes(t *testing.T) {
+	// Two different workflows reusing the same module (the paper's BLAST
+	// scenario): the second derivation hits the cache.
+	cache := privacy.NewCache()
+	costs := privacy.Uniform("x", "y", "u", "v")
+	m := module.And("shared", []string{"x", "y"}, "u")
+	down1 := module.Not("d1", "u", "v")
+	w1 := workflow.MustNew("w1", m, down1)
+	w2 := workflow.MustNew("w2", m, module.Xor("d2", []string{"u", "x"}, "v"))
+	if _, err := Derive(w1, DeriveOptions{Gamma: 2, Costs: costs, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Derive(w2, DeriveOptions{Gamma: 2, Costs: costs, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if hits < 1 {
+		t.Fatalf("hits = %d, want >= 1 (shared module reused)", hits)
+	}
+	if misses < 3 {
+		t.Fatalf("misses = %d, want >= 3 (distinct modules)", misses)
+	}
+	// Cached and uncached derivations agree.
+	a, err := Derive(w1, DeriveOptions{Gamma: 2, Costs: costs, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Derive(w1, DeriveOptions{Gamma: 2, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := ExactSet(a, 1<<20)
+	sb, _ := ExactSet(b, 1<<20)
+	if a.Cost(sa) != b.Cost(sb) {
+		t.Fatal("cache changed the optimum")
+	}
+}

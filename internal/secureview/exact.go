@@ -1,0 +1,149 @@
+package secureview
+
+import (
+	"fmt"
+	"math"
+
+	"secureview/internal/relation"
+)
+
+// ExactSet finds an optimal solution for the set-constraints variant by
+// branch and bound over per-module option choices (ℓmax^n worst case; the
+// problem is NP-hard, Theorem 6). The incumbent is seeded by Greedy.
+// An error is returned when the search space exceeds maxNodes.
+func ExactSet(p *Problem, maxNodes int) (Solution, error) {
+	if err := p.Validate(Set); err != nil {
+		return Solution{}, err
+	}
+	var privates []ModuleSpec
+	for _, m := range p.Modules {
+		if !m.Public {
+			privates = append(privates, m)
+		}
+	}
+	space := 1.0
+	for _, m := range privates {
+		space *= float64(len(m.SetList))
+	}
+	if space > float64(maxNodes) {
+		return Solution{}, fmt.Errorf("secureview: exact set search space %g exceeds %d", space, maxNodes)
+	}
+
+	incumbent := Greedy(p, Set)
+	bestCost := p.Cost(incumbent)
+	best := incumbent
+
+	hidden := make(relation.NameSet)
+	hideCount := make(map[string]int)
+	attrCost := 0.0
+	var rec func(i int)
+	rec = func(i int) {
+		if attrCost >= bestCost {
+			return // privatization cost is non-negative
+		}
+		if i == len(privates) {
+			sol := p.Complete(hidden.Clone())
+			c := p.Cost(sol)
+			if c < bestCost {
+				bestCost = c
+				best = sol
+			}
+			return
+		}
+		m := privates[i]
+		for _, r := range m.SetList {
+			var added []string
+			for a := range r.Attrs() {
+				if hideCount[a] == 0 {
+					hidden.Add(a)
+					attrCost += p.Costs.Of(a)
+					added = append(added, a)
+				}
+				hideCount[a]++
+			}
+			rec(i + 1)
+			for a := range r.Attrs() {
+				hideCount[a]--
+			}
+			for _, a := range added {
+				delete(hidden, a)
+				attrCost -= p.Costs.Of(a)
+			}
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// ExactCard finds an optimal solution for the cardinality variant by
+// enumerating all subsets of the instance's useful attributes (2^|A'|; the
+// problem is NP-hard even restricted, Theorem 5). An attribute is useful if
+// it can contribute to some requirement: it is an input of a private module
+// with a positive α option, or an output of one with a positive β option.
+// Hiding any other attribute only adds cost (and possibly privatization),
+// so no optimum contains one. An error is returned when the useful
+// attribute count exceeds maxAttrs.
+func ExactCard(p *Problem, maxAttrs int) (Solution, error) {
+	if err := p.Validate(Cardinality); err != nil {
+		return Solution{}, err
+	}
+	useful := make(relation.NameSet)
+	for _, m := range p.Modules {
+		if m.Public {
+			continue
+		}
+		maxAlpha, maxBeta := 0, 0
+		for _, r := range m.CardList {
+			if r.Alpha > maxAlpha {
+				maxAlpha = r.Alpha
+			}
+			if r.Beta > maxBeta {
+				maxBeta = r.Beta
+			}
+		}
+		if maxAlpha > 0 {
+			for _, a := range m.Inputs {
+				useful.Add(a)
+			}
+		}
+		if maxBeta > 0 {
+			for _, a := range m.Outputs {
+				useful.Add(a)
+			}
+		}
+	}
+	attrs := useful.Sorted()
+	if len(attrs) > maxAttrs || len(attrs) > 26 {
+		return Solution{}, fmt.Errorf("secureview: %d attributes too many for exact enumeration", len(attrs))
+	}
+	bestCost := math.Inf(1)
+	var best Solution
+	found := false
+	for mask := 0; mask < 1<<len(attrs); mask++ {
+		hidden := make(relation.NameSet)
+		attrCost := 0.0
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				hidden.Add(a)
+				attrCost += p.Costs.Of(a)
+			}
+		}
+		if attrCost >= bestCost {
+			continue
+		}
+		sol := p.Complete(hidden)
+		if !p.Feasible(sol, Cardinality) {
+			continue
+		}
+		c := p.Cost(sol)
+		if c < bestCost {
+			bestCost = c
+			best = sol
+			found = true
+		}
+	}
+	if !found {
+		return Solution{}, fmt.Errorf("secureview: no feasible solution")
+	}
+	return best, nil
+}

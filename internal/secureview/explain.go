@@ -1,0 +1,109 @@
+package secureview
+
+import (
+	"fmt"
+	"strings"
+
+	"secureview/internal/relation"
+)
+
+// Explanation is a human-readable account of why a solution is feasible:
+// which requirement option each private module satisfies, and which hidden
+// attribute forced each privatization.
+type Explanation struct {
+	Lines []string
+}
+
+// String renders one line per module.
+func (e Explanation) String() string { return strings.Join(e.Lines, "\n") }
+
+// Explain reports, for every module, how the solution satisfies it. The
+// solution must be feasible in the given variant.
+func Explain(p *Problem, sol Solution, variant Variant) (Explanation, error) {
+	if !p.Feasible(sol, variant) {
+		return Explanation{}, fmt.Errorf("secureview: cannot explain an infeasible solution")
+	}
+	var e Explanation
+	for _, m := range p.Modules {
+		if m.Public {
+			if sol.Privatized.Has(m.Name) {
+				trigger := firstHiddenAttr(m, sol.Hidden)
+				e.Lines = append(e.Lines, fmt.Sprintf(
+					"%s (public): privatized for %.4g because %q is hidden (Theorem 8 closure)",
+					m.Name, m.PrivatizeCost, trigger))
+			} else {
+				e.Lines = append(e.Lines, fmt.Sprintf(
+					"%s (public): visible — all attributes visible", m.Name))
+			}
+			continue
+		}
+		switch variant {
+		case Set:
+			req, ok := satisfiedSetOption(m, sol.Hidden)
+			if !ok {
+				return Explanation{}, fmt.Errorf("secureview: module %s unexplained", m.Name)
+			}
+			e.Lines = append(e.Lines, fmt.Sprintf(
+				"%s: satisfied by hiding %s (cost %.4g of the total)",
+				m.Name, req.Attrs(), p.Costs.Sum(req.Attrs())))
+		case Cardinality:
+			hi, ho := hiddenCounts(m, sol.Hidden)
+			req, ok := satisfiedCardOption(m, hi, ho)
+			if !ok {
+				return Explanation{}, fmt.Errorf("secureview: module %s unexplained", m.Name)
+			}
+			e.Lines = append(e.Lines, fmt.Sprintf(
+				"%s: satisfied with %d hidden inputs / %d hidden outputs (needs >= %d/%d)",
+				m.Name, hi, ho, req.Alpha, req.Beta))
+		}
+	}
+	return e, nil
+}
+
+func firstHiddenAttr(m ModuleSpec, hidden relation.NameSet) string {
+	for _, a := range append(append([]string{}, m.Inputs...), m.Outputs...) {
+		if hidden.Has(a) {
+			return a
+		}
+	}
+	return ""
+}
+
+// satisfiedSetOption returns the cheapest satisfied option of the module.
+func satisfiedSetOption(m ModuleSpec, hidden relation.NameSet) (SetReq, bool) {
+	best := SetReq{}
+	bestSize := -1
+	for _, r := range m.SetList {
+		if r.Attrs().SubsetOf(hidden) {
+			if size := len(r.Attrs()); bestSize < 0 || size < bestSize {
+				best = r
+				bestSize = size
+			}
+		}
+	}
+	return best, bestSize >= 0
+}
+
+func hiddenCounts(m ModuleSpec, hidden relation.NameSet) (int, int) {
+	hi, ho := 0, 0
+	for _, a := range m.Inputs {
+		if hidden.Has(a) {
+			hi++
+		}
+	}
+	for _, a := range m.Outputs {
+		if hidden.Has(a) {
+			ho++
+		}
+	}
+	return hi, ho
+}
+
+func satisfiedCardOption(m ModuleSpec, hi, ho int) (CardReq, bool) {
+	for _, r := range m.CardList {
+		if hi >= r.Alpha && ho >= r.Beta {
+			return r, true
+		}
+	}
+	return CardReq{}, false
+}

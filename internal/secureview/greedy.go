@@ -1,0 +1,24 @@
+package secureview
+
+import "secureview/internal/relation"
+
+// Greedy solves the instance by choosing, independently for every private
+// module, its cheapest single-module option and hiding the union, then
+// applying the privatization closure.
+//
+// For workflows with γ-bounded data sharing this is the (γ+1)-approximation
+// of Theorem 7: an attribute is produced by one module and consumed by at
+// most γ, so in any optimal solution one attribute serves at most γ+1
+// module requirements. With unbounded sharing (or public modules, Theorem
+// 9) the gap can grow to Ω(n) / Ω(log n), which the experiments measure.
+func Greedy(p *Problem, variant Variant) Solution {
+	hidden := make(relation.NameSet)
+	for _, m := range p.Modules {
+		if m.Public {
+			continue
+		}
+		opt, _ := p.minCostOption(m, variant)
+		hidden = hidden.Union(opt)
+	}
+	return p.Complete(hidden)
+}

@@ -1,0 +1,33 @@
+package spec
+
+import "testing"
+
+// FuzzParseBuild ensures arbitrary byte inputs never panic the parser or
+// the workflow builder: they must fail with an error or produce a valid
+// workflow. (Run with `go test -fuzz=FuzzParseBuild ./internal/spec` for
+// active fuzzing; regular `go test` exercises the seed corpus.)
+func FuzzParseBuild(f *testing.F) {
+	f.Add([]byte(demoDoc))
+	f.Add([]byte(`{"name":"x","modules":[]}`))
+	f.Add([]byte(`{"name":"x","modules":[{"name":"m","kind":"table",
+		"inputs":[{"name":"a","domain":2}],"outputs":[{"name":"b","domain":2}],
+		"table":[{"in":[0],"out":[0]},{"in":[1],"out":[1]}]}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"modules":[{"kind":"constant"}]}`))
+	f.Add([]byte(`{"name":"x","modules":[{"name":"m","kind":"identity",
+		"inputs":[{"name":"a","domain":-1}],"outputs":[{"name":"b","domain":2}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		w, err := doc.Build()
+		if err != nil {
+			return
+		}
+		if w.Name() == "" && doc.Name != "" {
+			t.Errorf("built workflow lost its name")
+		}
+	})
+}

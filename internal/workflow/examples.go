@@ -1,0 +1,47 @@
+package workflow
+
+import (
+	"fmt"
+
+	"secureview/internal/module"
+)
+
+// Fig1 returns the paper's running example workflow (Figure 1): three
+// private boolean modules m1 (a1,a2 → a3,a4,a5), m2 (a3,a4 → a6) and
+// m3 (a4,a5 → a7). Attribute a4 is shared (γ = 2).
+func Fig1() *Workflow {
+	return MustNew("fig1", module.Fig1M1(), module.Fig1M2(), module.Fig1M3())
+}
+
+// Chain returns a linear workflow of k-bit one-one modules
+// m_1 → m_2 → ... → m_n. Kind selects the module functionality: "identity"
+// or "complement". Attribute names are x_{level}_{bit}; level 0 holds the
+// initial inputs. Used by the Proposition 2 and Example 7 constructions.
+func Chain(name string, n, k int, kind string) *Workflow {
+	if n < 1 || k < 1 {
+		panic(fmt.Sprintf("workflow %s: chain needs n,k >= 1", name))
+	}
+	mods := make([]*module.Module, n)
+	for i := 0; i < n; i++ {
+		in := levelNames(i, k)
+		out := levelNames(i+1, k)
+		modName := fmt.Sprintf("m%d", i+1)
+		switch kind {
+		case "identity":
+			mods[i] = module.Identity(modName, in, out)
+		case "complement":
+			mods[i] = module.Complement(modName, in, out)
+		default:
+			panic(fmt.Sprintf("workflow %s: unknown chain kind %q", name, kind))
+		}
+	}
+	return MustNew(name, mods...)
+}
+
+func levelNames(level, k int) []string {
+	names := make([]string, k)
+	for b := 0; b < k; b++ {
+		names[b] = fmt.Sprintf("x%d_%d", level, b)
+	}
+	return names
+}

@@ -1,0 +1,158 @@
+package workflow
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+)
+
+// A module with several outputs consumed by several downstream modules
+// (multi-output fan-out): structure and execution must be consistent.
+func TestMultiOutputFanOut(t *testing.T) {
+	src := module.MustNew("src", relation.Bools("x1", "x2"), relation.Bools("u1", "u2", "u3"),
+		func(x relation.Tuple) relation.Tuple {
+			return relation.Tuple{x[0], x[1], x[0] ^ x[1]}
+		})
+	c1 := module.And("c1", []string{"u1", "u2"}, "v1")
+	c2 := module.Or("c2", []string{"u2", "u3"}, "v2")
+	c3 := module.Xor("c3", []string{"u1", "u3"}, "v3")
+	w := MustNew("fan", src, c1, c2, c3)
+
+	if got := w.DataSharing(); got != 2 {
+		t.Errorf("γ = %d, want 2 (u1..u3 each feed two consumers)", got)
+	}
+	finals := w.FinalOutputs()
+	names := make([]string, len(finals))
+	for i, a := range finals {
+		names[i] = a.Name
+	}
+	if strings.Join(names, ",") != "v1,v2,v3" {
+		t.Errorf("final outputs = %v", names)
+	}
+	r := w.MustRelation()
+	if r.Len() != 4 {
+		t.Fatalf("rows = %d, want 4", r.Len())
+	}
+	// Spot-check one execution: x = (1, 0) → u = (1,0,1), v = (0,1,0).
+	row, err := w.Execute(relation.Tuple{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Schema()
+	want := map[string]relation.Value{"u1": 1, "u2": 0, "u3": 1, "v1": 0, "v2": 1, "v3": 0}
+	for n, v := range want {
+		if row[s.IndexOf(n)] != v {
+			t.Errorf("%s = %d, want %d", n, row[s.IndexOf(n)], v)
+		}
+	}
+}
+
+// Deep chain: topological sort and execution through 12 levels.
+func TestDeepChain(t *testing.T) {
+	w := Chain("deep", 12, 1, "complement")
+	row, err := w.Execute(relation.Tuple{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Schema()
+	// 12 complements of 0: even count → back to 0.
+	if got := row[s.IndexOf("x12_0")]; got != 0 {
+		t.Errorf("final = %d, want 0", got)
+	}
+	if got := row[s.IndexOf("x11_0")]; got != 1 {
+		t.Errorf("level 11 = %d, want 1", got)
+	}
+	if len(w.Modules()) != 12 {
+		t.Errorf("modules = %d", len(w.Modules()))
+	}
+}
+
+// Mixed-domain attributes flow through the workflow unchanged.
+func TestNonBooleanDomains(t *testing.T) {
+	trit := relation.Attribute{Name: "t", Domain: 3}
+	sum := relation.Attribute{Name: "s", Domain: 5}
+	m1 := module.MustNew("m1", []relation.Attribute{trit, {Name: "u", Domain: 3}},
+		[]relation.Attribute{sum},
+		func(x relation.Tuple) relation.Tuple {
+			return relation.Tuple{x[0] + x[1]}
+		})
+	m2 := module.MustNew("m2", []relation.Attribute{sum}, relation.Bools("big"),
+		func(x relation.Tuple) relation.Tuple {
+			if x[0] >= 3 {
+				return relation.Tuple{1}
+			}
+			return relation.Tuple{0}
+		})
+	w := MustNew("trits", m1, m2)
+	r := w.MustRelation()
+	if r.Len() != 9 {
+		t.Fatalf("rows = %d, want 9", r.Len())
+	}
+	big := r.Select(func(t relation.Tuple) bool { return t[w.Schema().IndexOf("big")] == 1 })
+	if big.Len() != 3 { // (1,2),(2,1),(2,2)
+		t.Errorf("big rows = %d, want 3", big.Len())
+	}
+}
+
+// Property: Redefine with identity functions is a no-op on the relation.
+func TestQuickRedefineIdentityNoop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m1 := module.Random("m1", relation.Bools("x1"), relation.Bools("u1", "u2"), rng)
+		m2 := module.Random("m2", relation.Bools("u1", "u2"), relation.Bools("v1"), rng)
+		w, err := New("w", m1, m2)
+		if err != nil {
+			return false
+		}
+		// Redefine every module with a function that calls the original.
+		fns := make(map[string]module.Func)
+		for _, m := range w.Modules() {
+			m := m
+			fns[m.Name()] = func(x relation.Tuple) relation.Tuple {
+				return m.MustEval(x)
+			}
+		}
+		w2, err := w.Redefine(fns)
+		if err != nil {
+			return false
+		}
+		return w2.MustRelation().Equal(w.MustRelation())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every attribute is either an initial input or has a producer,
+// and consumers never include the producer.
+func TestQuickProducerConsumerConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m1 := module.Random("m1", relation.Bools("x1", "x2"), relation.Bools("u1"), rng)
+		m2 := module.Random("m2", relation.Bools("u1", "x2"), relation.Bools("v1"), rng)
+		w, err := New("w", m1, m2)
+		if err != nil {
+			return false
+		}
+		initial := relation.NewNameSet(w.InitialInputNames()...)
+		for _, n := range w.Schema().Names() {
+			p := w.Producer(n)
+			if initial.Has(n) != (p == "") {
+				return false
+			}
+			for _, c := range w.Consumers(n) {
+				if c == p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,431 @@
+// Package workflow models scientific workflows as directed acyclic
+// multigraphs of modules connected by shared attribute names (Davidson et
+// al., PODS 2011, section 2.3).
+//
+// A workflow W over modules m1..mn induces a provenance relation R over
+// A = ∪(Ii ∪ Oi) satisfying the functional dependencies Ii → Oi: each row of
+// R is one end-to-end execution. The package validates the paper's
+// well-formedness conditions, executes workflows over initial inputs, and
+// computes structural properties such as the data-sharing bound γ
+// (Definition 3).
+package workflow
+
+import (
+	"fmt"
+	"sort"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+)
+
+// Workflow is a validated DAG of modules. Construct with New; the zero value
+// is unusable.
+type Workflow struct {
+	name    string
+	modules []*module.Module // topological order
+	byName  map[string]*module.Module
+
+	schema  *relation.Schema // all attributes A: initial inputs, then outputs in topo order
+	initial []relation.Attribute
+	final   []relation.Attribute
+
+	producer  map[string]string   // attribute -> producing module name
+	consumers map[string][]string // attribute -> consuming module names (topo order)
+}
+
+// New validates the module set and returns the workflow. The conditions
+// checked are those of section 2.3:
+//
+//  1. within each module, input and output names are disjoint (enforced by
+//     module.New);
+//  2. output attribute names of distinct modules are disjoint (each data
+//     item is produced by a unique module);
+//  3. attributes shared by name have identical domains;
+//  4. the induced graph (edge mi → mj whenever Oi ∩ Ij ≠ ∅) is acyclic.
+//
+// Input attributes not produced by any module are the workflow's initial
+// inputs; outputs not consumed by any module are its final outputs.
+func New(name string, modules ...*module.Module) (*Workflow, error) {
+	if name == "" {
+		return nil, fmt.Errorf("workflow: empty name")
+	}
+	if len(modules) == 0 {
+		return nil, fmt.Errorf("workflow %s: no modules", name)
+	}
+	w := &Workflow{
+		name:      name,
+		byName:    make(map[string]*module.Module, len(modules)),
+		producer:  make(map[string]string),
+		consumers: make(map[string][]string),
+	}
+	attrDomain := make(map[string]int)
+	checkAttr := func(a relation.Attribute, where string) error {
+		if d, ok := attrDomain[a.Name]; ok && d != a.Domain {
+			return fmt.Errorf("workflow %s: attribute %q has domain %d in %s but %d elsewhere",
+				name, a.Name, a.Domain, where, d)
+		}
+		attrDomain[a.Name] = a.Domain
+		return nil
+	}
+	for _, m := range modules {
+		if m == nil {
+			return nil, fmt.Errorf("workflow %s: nil module", name)
+		}
+		if _, dup := w.byName[m.Name()]; dup {
+			return nil, fmt.Errorf("workflow %s: duplicate module name %q", name, m.Name())
+		}
+		w.byName[m.Name()] = m
+		for _, a := range m.Outputs() {
+			if prev, dup := w.producer[a.Name]; dup {
+				return nil, fmt.Errorf("workflow %s: attribute %q produced by both %s and %s",
+					name, a.Name, prev, m.Name())
+			}
+			w.producer[a.Name] = m.Name()
+			if err := checkAttr(a, m.Name()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, m := range modules {
+		for _, a := range m.Inputs() {
+			if err := checkAttr(a, m.Name()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	order, err := topoSort(name, modules, w.producer)
+	if err != nil {
+		return nil, err
+	}
+	w.modules = order
+
+	// Assemble the global attribute order: initial inputs first (in first-
+	// appearance order over the topological module order), then each
+	// module's outputs.
+	var attrs []relation.Attribute
+	seen := make(map[string]bool)
+	for _, m := range w.modules {
+		for _, a := range m.Inputs() {
+			if _, produced := w.producer[a.Name]; produced || seen[a.Name] {
+				continue
+			}
+			seen[a.Name] = true
+			attrs = append(attrs, a)
+			w.initial = append(w.initial, a)
+		}
+	}
+	for _, m := range w.modules {
+		for _, a := range m.Outputs() {
+			attrs = append(attrs, a)
+		}
+		for _, a := range m.Inputs() {
+			w.consumers[a.Name] = append(w.consumers[a.Name], m.Name())
+		}
+	}
+	w.schema, err = relation.NewSchema(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("workflow %s: %w", name, err)
+	}
+	for _, m := range w.modules {
+		for _, a := range m.Outputs() {
+			if len(w.consumers[a.Name]) == 0 {
+				w.final = append(w.final, a)
+			}
+		}
+	}
+	return w, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(name string, modules ...*module.Module) *Workflow {
+	w, err := New(name, modules...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func topoSort(name string, modules []*module.Module, producer map[string]string) ([]*module.Module, error) {
+	byName := make(map[string]*module.Module, len(modules))
+	indeg := make(map[string]int, len(modules))
+	succ := make(map[string][]string, len(modules))
+	for _, m := range modules {
+		byName[m.Name()] = m
+		indeg[m.Name()] = 0
+	}
+	for _, m := range modules {
+		deps := make(map[string]bool)
+		for _, a := range m.Inputs() {
+			if p, ok := producer[a.Name]; ok && p != m.Name() && !deps[p] {
+				deps[p] = true
+				succ[p] = append(succ[p], m.Name())
+				indeg[m.Name()]++
+			}
+			if p, ok := producer[a.Name]; ok && p == m.Name() {
+				return nil, fmt.Errorf("workflow %s: module %s consumes its own output %q", name, m.Name(), a.Name)
+			}
+		}
+	}
+	// Kahn's algorithm with deterministic (name-sorted) tie-breaking so that
+	// the attribute order, and hence the provenance schema, is stable.
+	var frontier []string
+	for n, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	sort.Strings(frontier)
+	var order []*module.Module
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, byName[n])
+		var next []string
+		for _, s := range succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				next = append(next, s)
+			}
+		}
+		sort.Strings(next)
+		frontier = mergeSorted(frontier, next)
+	}
+	if len(order) != len(modules) {
+		return nil, fmt.Errorf("workflow %s: module graph has a cycle", name)
+	}
+	return order, nil
+}
+
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Name returns the workflow name.
+func (w *Workflow) Name() string { return w.name }
+
+// Modules returns the modules in topological order.
+func (w *Workflow) Modules() []*module.Module {
+	return append([]*module.Module(nil), w.modules...)
+}
+
+// Module returns the named module, or nil.
+func (w *Workflow) Module(name string) *module.Module { return w.byName[name] }
+
+// PrivateModules returns the private modules in topological order.
+func (w *Workflow) PrivateModules() []*module.Module {
+	var out []*module.Module
+	for _, m := range w.modules {
+		if m.Visibility() == module.Private {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PublicModules returns the public modules in topological order.
+func (w *Workflow) PublicModules() []*module.Module {
+	var out []*module.Module
+	for _, m := range w.modules {
+		if m.Visibility() == module.Public {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Schema returns the provenance schema over all attributes A, initial
+// inputs first, then module outputs in topological order.
+func (w *Workflow) Schema() *relation.Schema { return w.schema }
+
+// InitialInputs returns I0: input attributes not produced by any module.
+func (w *Workflow) InitialInputs() []relation.Attribute {
+	return append([]relation.Attribute(nil), w.initial...)
+}
+
+// InitialInputNames returns the names of the initial inputs.
+func (w *Workflow) InitialInputNames() []string {
+	names := make([]string, len(w.initial))
+	for i, a := range w.initial {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// FinalOutputs returns attributes produced but never consumed.
+func (w *Workflow) FinalOutputs() []relation.Attribute {
+	return append([]relation.Attribute(nil), w.final...)
+}
+
+// Producer returns the name of the module producing the attribute, or ""
+// if it is an initial input.
+func (w *Workflow) Producer(attr string) string { return w.producer[attr] }
+
+// Consumers returns the names of the modules consuming the attribute, in
+// topological order.
+func (w *Workflow) Consumers(attr string) []string {
+	return append([]string(nil), w.consumers[attr]...)
+}
+
+// DataSharing returns γ, the data-sharing bound of Definition 3: the maximum
+// number of modules any single attribute feeds.
+func (w *Workflow) DataSharing() int {
+	max := 0
+	for _, cs := range w.consumers {
+		if len(cs) > max {
+			max = len(cs)
+		}
+	}
+	return max
+}
+
+// FDs returns the functional dependencies F = {Ii → Oi} as (lhs, rhs) name
+// pairs, in topological module order.
+func (w *Workflow) FDs() [][2][]string {
+	out := make([][2][]string, len(w.modules))
+	for i, m := range w.modules {
+		out[i] = [2][]string{m.InputNames(), m.OutputNames()}
+	}
+	return out
+}
+
+// Execute runs the workflow on one assignment of the initial inputs
+// (aligned with InitialInputs) and returns the full provenance tuple over
+// Schema().
+func (w *Workflow) Execute(initial relation.Tuple) (relation.Tuple, error) {
+	if len(initial) != len(w.initial) {
+		return nil, fmt.Errorf("workflow %s: initial input arity %d, want %d", w.name, len(initial), len(w.initial))
+	}
+	env := make(map[string]relation.Value, w.schema.Len())
+	for i, a := range w.initial {
+		if initial[i] < 0 || initial[i] >= a.Domain {
+			return nil, fmt.Errorf("workflow %s: initial input %q value %d out of domain [0,%d)",
+				w.name, a.Name, initial[i], a.Domain)
+		}
+		env[a.Name] = initial[i]
+	}
+	for _, m := range w.modules {
+		inNames := m.InputNames()
+		x := make(relation.Tuple, len(inNames))
+		for i, n := range inNames {
+			v, ok := env[n]
+			if !ok {
+				return nil, fmt.Errorf("workflow %s: module %s input %q unavailable", w.name, m.Name(), n)
+			}
+			x[i] = v
+		}
+		y, err := m.Eval(x)
+		if err != nil {
+			return nil, err
+		}
+		for i, n := range m.OutputNames() {
+			env[n] = y[i]
+		}
+	}
+	row := make(relation.Tuple, w.schema.Len())
+	for i, n := range w.schema.Names() {
+		row[i] = env[n]
+	}
+	return row, nil
+}
+
+// Relation executes the workflow on every assignment of the initial inputs
+// and returns the full provenance relation R. It returns an error if the
+// initial-input domain exceeds maxRows.
+func (w *Workflow) Relation(maxRows uint64) (*relation.Relation, error) {
+	inSchema, err := relation.NewSchema(w.initial)
+	if err != nil {
+		return nil, err
+	}
+	size, ok := inSchema.DomainProduct(inSchema.Names())
+	if !ok || size > maxRows {
+		return nil, fmt.Errorf("workflow %s: initial domain of size %d exceeds limit %d", w.name, size, maxRows)
+	}
+	r := relation.New(w.schema)
+	var execErr error
+	relation.EachTuple(inSchema, func(x relation.Tuple) bool {
+		row, err := w.Execute(x)
+		if err != nil {
+			execErr = err
+			return false
+		}
+		if err := r.Insert(row); err != nil {
+			execErr = err
+			return false
+		}
+		return true
+	})
+	if execErr != nil {
+		return nil, execErr
+	}
+	return r, nil
+}
+
+// MustRelation is like Relation with a 1<<20 row limit, panicking on error.
+func (w *Workflow) MustRelation() *relation.Relation {
+	r, err := w.Relation(1 << 20)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RelationOver executes the workflow on the given initial-input tuples only
+// (sampled executions) and returns the resulting provenance relation.
+func (w *Workflow) RelationOver(inputs []relation.Tuple) (*relation.Relation, error) {
+	r := relation.New(w.schema)
+	for _, x := range inputs {
+		row, err := w.Execute(x)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Redefine returns a new workflow with the same wiring in which each module
+// named in fns has its functionality replaced. Unnamed modules are shared.
+// This is the primitive for constructing possible worlds by module
+// redefinition (proof of Lemma 1).
+func (w *Workflow) Redefine(fns map[string]module.Func) (*Workflow, error) {
+	mods := make([]*module.Module, len(w.modules))
+	for i, m := range w.modules {
+		if fn, ok := fns[m.Name()]; ok {
+			mods[i] = m.WithFunc(fn)
+		} else {
+			mods[i] = m
+		}
+	}
+	return New(w.name, mods...)
+}
+
+// ModuleAttrs returns, for the named module, the attribute names of Ii and
+// Oi. It returns an error for unknown modules.
+func (w *Workflow) ModuleAttrs(name string) (inputs, outputs []string, err error) {
+	m := w.byName[name]
+	if m == nil {
+		return nil, nil, fmt.Errorf("workflow %s: no module %q", w.name, name)
+	}
+	return m.InputNames(), m.OutputNames(), nil
+}
+
+// String returns a one-line summary.
+func (w *Workflow) String() string {
+	return fmt.Sprintf("workflow %s: %d modules, %d attributes, γ=%d",
+		w.name, len(w.modules), w.schema.Len(), w.DataSharing())
+}

@@ -1,0 +1,306 @@
+package workflow
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+)
+
+func TestNewValidation(t *testing.T) {
+	m1 := module.Fig1M1()
+	t.Run("empty name", func(t *testing.T) {
+		if _, err := New("", m1); err == nil {
+			t.Error("accepted empty name")
+		}
+	})
+	t.Run("no modules", func(t *testing.T) {
+		if _, err := New("w"); err == nil {
+			t.Error("accepted empty workflow")
+		}
+	})
+	t.Run("duplicate module name", func(t *testing.T) {
+		if _, err := New("w", m1, module.Fig1M1()); err == nil {
+			t.Error("accepted duplicate module names")
+		}
+	})
+	t.Run("duplicate producer", func(t *testing.T) {
+		a := module.Not("p", "x", "y")
+		b := module.Not("q", "z", "y") // y produced twice
+		if _, err := New("w", a, b); err == nil {
+			t.Error("accepted attribute with two producers")
+		}
+	})
+	t.Run("domain mismatch", func(t *testing.T) {
+		a := module.MustNew("p", relation.Bools("x"), []relation.Attribute{{Name: "y", Domain: 3}},
+			func(relation.Tuple) relation.Tuple { return relation.Tuple{0} })
+		b := module.Not("q", "y", "z") // consumes y as boolean
+		if _, err := New("w", a, b); err == nil {
+			t.Error("accepted shared attribute with mismatched domains")
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		a := module.Not("p", "x", "y")
+		b := module.Not("q", "y", "x")
+		if _, err := New("w", a, b); err == nil {
+			t.Error("accepted cyclic workflow")
+		}
+	})
+	t.Run("self loop", func(t *testing.T) {
+		m := module.MustNew("p", relation.Bools("x", "y"), relation.Bools("z"),
+			func(relation.Tuple) relation.Tuple { return relation.Tuple{0} })
+		n := module.MustNew("q", relation.Bools("z"), relation.Bools("y"),
+			func(relation.Tuple) relation.Tuple { return relation.Tuple{0} })
+		if _, err := New("w", m, n); err == nil {
+			t.Error("accepted cyclic dependency p->q->p")
+		}
+	})
+}
+
+func TestFig1Structure(t *testing.T) {
+	w := Fig1()
+	if got := w.InitialInputNames(); len(got) != 2 || got[0] != "a1" || got[1] != "a2" {
+		t.Errorf("initial inputs = %v, want [a1 a2]", got)
+	}
+	if got := w.Schema().Names(); strings.Join(got, ",") != "a1,a2,a3,a4,a5,a6,a7" {
+		t.Errorf("schema = %v", got)
+	}
+	if got := w.DataSharing(); got != 2 {
+		t.Errorf("γ = %d, want 2 (a4 feeds m2 and m3)", got)
+	}
+	if got := w.Producer("a6"); got != "m2" {
+		t.Errorf("producer(a6) = %q, want m2", got)
+	}
+	if got := w.Producer("a1"); got != "" {
+		t.Errorf("producer(a1) = %q, want initial input", got)
+	}
+	if got := w.Consumers("a4"); len(got) != 2 {
+		t.Errorf("consumers(a4) = %v, want two", got)
+	}
+	finals := w.FinalOutputs()
+	names := make([]string, len(finals))
+	for i, a := range finals {
+		names[i] = a.Name
+	}
+	if strings.Join(names, ",") != "a6,a7" {
+		t.Errorf("final outputs = %v, want [a6 a7]", names)
+	}
+	if w.Module("m2") == nil || w.Module("zz") != nil {
+		t.Error("Module lookup wrong")
+	}
+	if len(w.PrivateModules()) != 3 || len(w.PublicModules()) != 0 {
+		t.Error("visibility partition wrong")
+	}
+	if !strings.Contains(w.String(), "fig1") {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	w := Fig1()
+	mods := w.Modules()
+	pos := make(map[string]int)
+	for i, m := range mods {
+		pos[m.Name()] = i
+	}
+	if !(pos["m1"] < pos["m2"] && pos["m1"] < pos["m3"]) {
+		t.Errorf("topological order violated: %v", pos)
+	}
+}
+
+func TestFig1RelationMatchesPaper(t *testing.T) {
+	w := Fig1()
+	r := w.MustRelation()
+	want := relation.MustFromRows(w.Schema(), [][]relation.Value{
+		{0, 0, 0, 1, 1, 1, 0},
+		{0, 1, 1, 1, 0, 0, 1},
+		{1, 0, 1, 1, 0, 0, 1},
+		{1, 1, 1, 0, 1, 1, 1},
+	})
+	if !r.Equal(want) {
+		t.Fatalf("R =\n%v\nwant\n%v", r, want)
+	}
+	// The provenance relation satisfies every module FD.
+	for _, fd := range w.FDs() {
+		ok, err := r.SatisfiesFD(fd[0], fd[1])
+		if err != nil || !ok {
+			t.Errorf("FD %v -> %v violated (err=%v)", fd[0], fd[1], err)
+		}
+	}
+}
+
+func TestExecuteValidatesInput(t *testing.T) {
+	w := Fig1()
+	if _, err := w.Execute(relation.Tuple{0}); err == nil {
+		t.Error("short initial input accepted")
+	}
+	if _, err := w.Execute(relation.Tuple{0, 9}); err == nil {
+		t.Error("out-of-domain initial input accepted")
+	}
+}
+
+func TestRelationRowLimit(t *testing.T) {
+	w := Chain("c", 1, 8, "identity")
+	if _, err := w.Relation(10); err == nil {
+		t.Error("row limit not enforced")
+	}
+	if _, err := w.Relation(1 << 10); err != nil {
+		t.Errorf("relation under limit failed: %v", err)
+	}
+}
+
+func TestRelationOver(t *testing.T) {
+	w := Fig1()
+	r, err := w.RelationOver([]relation.Tuple{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("sampled relation size = %d, want 2", r.Len())
+	}
+	if _, err := w.RelationOver([]relation.Tuple{{5, 5}}); err == nil {
+		t.Error("invalid sampled input accepted")
+	}
+}
+
+func TestRedefine(t *testing.T) {
+	w := Fig1()
+	// Replace m2 with a constant-0 function.
+	w2, err := w.Redefine(map[string]module.Func{
+		"m2": func(relation.Tuple) relation.Tuple { return relation.Tuple{0} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := w2.MustRelation()
+	a6 := r2.MustProject("a6")
+	if a6.Len() != 1 || a6.Row(0)[0] != 0 {
+		t.Errorf("redefined m2 output column = %v", a6)
+	}
+	// Original untouched.
+	if w.MustRelation().MustProject("a6").Len() != 2 {
+		t.Error("Redefine mutated original workflow")
+	}
+	// Schema and wiring preserved.
+	if !w2.Schema().Equal(w.Schema()) {
+		t.Error("Redefine changed schema")
+	}
+}
+
+func TestChainStructure(t *testing.T) {
+	w := Chain("chain", 3, 2, "complement")
+	if len(w.Modules()) != 3 {
+		t.Fatalf("modules = %d", len(w.Modules()))
+	}
+	if got := w.DataSharing(); got != 1 {
+		t.Errorf("chain γ = %d, want 1", got)
+	}
+	// complement ∘ complement ∘ complement = complement
+	row, err := w.Execute(relation.Tuple{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Schema()
+	getVal := func(name string) relation.Value { return row[s.IndexOf(name)] }
+	if getVal("x3_0") != 1 || getVal("x3_1") != 0 {
+		t.Errorf("triple complement of (0,1) gave final (%d,%d)", getVal("x3_0"), getVal("x3_1"))
+	}
+}
+
+func TestChainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Chain with bad kind did not panic")
+		}
+	}()
+	Chain("c", 1, 1, "bogus")
+}
+
+func TestModuleAttrs(t *testing.T) {
+	w := Fig1()
+	in, out, err := w.ModuleAttrs("m3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(in, ",") != "a4,a5" || strings.Join(out, ",") != "a7" {
+		t.Errorf("m3 attrs = %v -> %v", in, out)
+	}
+	if _, _, err := w.ModuleAttrs("nope"); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func TestDiamondSharing(t *testing.T) {
+	// One source feeding three consumers: γ = 3.
+	src := module.Identity("src", []string{"x"}, []string{"d"})
+	c1 := module.Not("c1", "d", "y1")
+	c2 := module.Not("c2", "d", "y2")
+	c3 := module.Not("c3", "d", "y3")
+	w := MustNew("diamond", c2, src, c3, c1) // order shuffled on purpose
+	if got := w.DataSharing(); got != 3 {
+		t.Errorf("γ = %d, want 3", got)
+	}
+	if w.Modules()[0].Name() != "src" {
+		t.Errorf("topo order starts with %s, want src", w.Modules()[0].Name())
+	}
+}
+
+// Property: the provenance relation of a random two-layer workflow satisfies
+// all module FDs and the row count equals the initial-input domain size.
+func TestQuickProvenanceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m1 := module.Random("m1", relation.Bools("x1", "x2"), relation.Bools("u1", "u2"), rng)
+		m2 := module.Random("m2", relation.Bools("u1", "u2"), relation.Bools("v1"), rng)
+		m3 := module.Random("m3", relation.Bools("u2", "x1"), relation.Bools("v2"), rng)
+		w, err := New("rand", m1, m2, m3)
+		if err != nil {
+			return false
+		}
+		r, err := w.Relation(64)
+		if err != nil {
+			return false
+		}
+		if r.Len() != 4 {
+			return false
+		}
+		for _, fd := range w.FDs() {
+			ok, err := r.SatisfiesFD(fd[0], fd[1])
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: execution is deterministic — executing the same input twice
+// yields identical rows, and Relation agrees with Execute.
+func TestQuickExecutionDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m1 := module.Random("m1", relation.Bools("x1", "x2", "x3"), relation.Bools("u1"), rng)
+		m2 := module.Random("m2", relation.Bools("u1", "x3"), relation.Bools("v1", "v2"), rng)
+		w, err := New("rand", m1, m2)
+		if err != nil {
+			return false
+		}
+		r := w.MustRelation()
+		x := relation.Tuple{rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+		row1, err1 := w.Execute(x)
+		row2, err2 := w.Execute(x)
+		if err1 != nil || err2 != nil || !row1.Equal(row2) {
+			return false
+		}
+		return r.Contains(row1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

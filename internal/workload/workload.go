@@ -1,0 +1,99 @@
+// Package workload generates synthetic workflows and Secure-View instances
+// for averaged experiments: layered DAGs of random boolean modules with
+// controllable data sharing, and random requirement-list instances.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secureview/internal/module"
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+	"secureview/internal/secureview"
+	"secureview/internal/workflow"
+)
+
+// LayeredWorkflow builds a random all-private workflow with the given
+// number of layers, each layer holding width random boolean modules. Every
+// module consumes fanIn attributes drawn from the previous layer's outputs
+// (creating data sharing when fanIn × width exceeds the previous layer's
+// output count) and produces one output.
+func LayeredWorkflow(name string, layers, width, fanIn int, rng *rand.Rand) *workflow.Workflow {
+	if layers < 1 || width < 1 || fanIn < 1 {
+		panic("workload: layers, width, fanIn must be positive")
+	}
+	var mods []*module.Module
+	prev := make([]string, fanIn)
+	for i := range prev {
+		prev[i] = fmt.Sprintf("in%d", i)
+	}
+	for l := 0; l < layers; l++ {
+		var next []string
+		for wi := 0; wi < width; wi++ {
+			in := make([]string, 0, fanIn)
+			seen := map[string]bool{}
+			for len(in) < fanIn && len(in) < len(prev) {
+				c := prev[rng.Intn(len(prev))]
+				if !seen[c] {
+					seen[c] = true
+					in = append(in, c)
+				}
+			}
+			out := fmt.Sprintf("d%d_%d", l, wi)
+			next = append(next, out)
+			mods = append(mods, module.Random(
+				fmt.Sprintf("m%d_%d", l, wi),
+				relation.Bools(in...), relation.Bools(out), rng))
+		}
+		prev = next
+	}
+	return workflow.MustNew(name, mods...)
+}
+
+// RandomCosts draws uniform costs in [1, maxCost] for the given attributes.
+func RandomCosts(attrs []string, maxCost float64, rng *rand.Rand) privacy.Costs {
+	c := make(privacy.Costs, len(attrs))
+	for _, a := range attrs {
+		c[a] = 1 + rng.Float64()*(maxCost-1)
+	}
+	return c
+}
+
+// RandomProblem builds a synthetic Secure-View instance (both constraint
+// variants populated) shaped like a chain with cross-links: module i
+// consumes the outputs of up to `share` earlier modules and offers the
+// options "hide one input" or "hide my output".
+func RandomProblem(nModules, share int, rng *rand.Rand) *secureview.Problem {
+	p := &secureview.Problem{Costs: privacy.Costs{}}
+	outputs := []string{"src"}
+	p.Costs["src"] = 1 + rng.Float64()*4
+	for i := 0; i < nModules; i++ {
+		k := 1 + rng.Intn(share)
+		if k > len(outputs) {
+			k = len(outputs)
+		}
+		seen := map[string]bool{}
+		var in []string
+		for len(in) < k {
+			c := outputs[rng.Intn(len(outputs))]
+			if !seen[c] {
+				seen[c] = true
+				in = append(in, c)
+			}
+		}
+		out := fmt.Sprintf("d%d", i)
+		p.Costs[out] = 1 + rng.Float64()*4
+		setList := []secureview.SetReq{{Out: []string{out}}}
+		for _, a := range in {
+			setList = append(setList, secureview.SetReq{In: []string{a}})
+		}
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("m%d", i), Inputs: in, Outputs: []string{out},
+			SetList:  setList,
+			CardList: []secureview.CardReq{{Alpha: 1, Beta: 0}, {Alpha: 0, Beta: 1}},
+		})
+		outputs = append(outputs, out)
+	}
+	return p
+}

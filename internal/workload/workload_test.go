@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/secureview"
+)
+
+func TestLayeredWorkflowShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := LayeredWorkflow("lw", 3, 2, 2, rng)
+	if got := len(w.Modules()); got != 6 {
+		t.Fatalf("modules = %d, want 6", got)
+	}
+	if got := len(w.InitialInputs()); got != 2 {
+		t.Fatalf("initial inputs = %d, want 2", got)
+	}
+	r, err := w.Relation(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("executions = %d, want 4", r.Len())
+	}
+	for _, fd := range w.FDs() {
+		ok, err := r.SatisfiesFD(fd[0], fd[1])
+		if err != nil || !ok {
+			t.Errorf("FD %v -> %v violated", fd[0], fd[1])
+		}
+	}
+}
+
+func TestLayeredWorkflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid shape accepted")
+		}
+	}()
+	LayeredWorkflow("bad", 0, 1, 1, rand.New(rand.NewSource(1)))
+}
+
+func TestLayeredWorkflowDeterministic(t *testing.T) {
+	a := LayeredWorkflow("w", 2, 2, 2, rand.New(rand.NewSource(7)))
+	b := LayeredWorkflow("w", 2, 2, 2, rand.New(rand.NewSource(7)))
+	ra, _ := a.Relation(1 << 10)
+	rb, _ := b.Relation(1 << 10)
+	if !ra.Equal(rb) {
+		t.Error("same seed produced different workflows")
+	}
+}
+
+func TestRandomCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := RandomCosts([]string{"a", "b", "c"}, 5, rng)
+	if len(c) != 3 {
+		t.Fatalf("costs = %d entries", len(c))
+	}
+	for n, v := range c {
+		if v < 1 || v > 5 {
+			t.Errorf("cost %s = %v out of [1,5]", n, v)
+		}
+	}
+}
+
+// Property: random problems validate in both variants and all solvers
+// produce feasible solutions with exact <= greedy.
+func TestQuickRandomProblemSolvable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomProblem(2+rng.Intn(5), 1+rng.Intn(3), rng)
+		if p.Validate(secureview.Set) != nil || p.Validate(secureview.Cardinality) != nil {
+			return false
+		}
+		exact, err := secureview.ExactSet(p, 1<<20)
+		if err != nil || !p.Feasible(exact, secureview.Set) {
+			return false
+		}
+		greedy := secureview.Greedy(p, secureview.Set)
+		if !p.Feasible(greedy, secureview.Set) {
+			return false
+		}
+		return p.Cost(exact) <= p.Cost(greedy)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LayeredWorkflow's data sharing never exceeds width (each
+// attribute feeds at most the next layer's modules).
+func TestQuickLayeredSharingBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + rng.Intn(3)
+		w := LayeredWorkflow("w", 1+rng.Intn(3), width, 1+rng.Intn(2), rng)
+		return w.DataSharing() <= width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

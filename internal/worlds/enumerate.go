@@ -1,0 +1,297 @@
+package worlds
+
+import (
+	"fmt"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+// Enumerator exhaustively generates the possible worlds Worlds(R, V, P) of
+// a workflow relation (Definitions 4 and 6): all relations over the same
+// attributes that satisfy every module FD, agree with R on the visible
+// attributes, and preserve the functionality of every visible public
+// module. Privatized (hidden) public modules behave like private ones.
+//
+// The enumerator requires the workflow's initial inputs to be visible; the
+// initial inputs functionally determine every attribute, so each world then
+// has exactly one row per row of R, with only that row's hidden cells free.
+// This covers all the paper's constructions (they never hide initial
+// inputs). Enumeration is exponential in (#hidden cells × #rows); the
+// Budget guards against blow-ups.
+type Enumerator struct {
+	// W is the workflow; R its provenance relation over W.Schema().
+	W *workflow.Workflow
+	R *relation.Relation
+	// Visible is the visible attribute set V.
+	Visible relation.NameSet
+	// Privatized names public modules whose identity is hidden (the set
+	// P̄ of section 5); their functionality constraint is dropped.
+	Privatized relation.NameSet
+	// Budget caps the number of candidate assignments explored
+	// (default 1<<24).
+	Budget uint64
+}
+
+// check validates the enumerator configuration.
+func (e *Enumerator) check() error {
+	if e.W == nil || e.R == nil {
+		return fmt.Errorf("worlds: enumerator needs a workflow and relation")
+	}
+	for _, a := range e.W.InitialInputNames() {
+		if !e.Visible.Has(a) {
+			return fmt.Errorf("worlds: initial input %q must be visible for enumeration", a)
+		}
+	}
+	return nil
+}
+
+// EachWorld calls fn with the rows of every possible world, in a fixed
+// deterministic order. The slice (and its tuples) are reused; fn must copy
+// what it keeps. Returning false stops enumeration. The error reports
+// configuration problems or budget exhaustion.
+func (e *Enumerator) EachWorld(fn func(rows []relation.Tuple) bool) error {
+	if err := e.check(); err != nil {
+		return err
+	}
+	budget := e.Budget
+	if budget == 0 {
+		budget = 1 << 24
+	}
+	schema := e.W.Schema()
+	nCols := schema.Len()
+	baseRows := e.R.SortedRows()
+	nRows := len(baseRows)
+
+	// Hidden column indices and their domains.
+	var hiddenCols []int
+	for i := 0; i < nCols; i++ {
+		if !e.Visible.Has(schema.Attr(i).Name) {
+			hiddenCols = append(hiddenCols, i)
+		}
+	}
+	// Per-module column layout for FD and public checks.
+	type modCols struct {
+		m        *module.Module
+		in, out  []int
+		enforced bool // public and not privatized: function must hold
+	}
+	var mods []modCols
+	for _, m := range e.W.Modules() {
+		in := make([]int, len(m.InputNames()))
+		for i, n := range m.InputNames() {
+			in[i] = schema.IndexOf(n)
+		}
+		out := make([]int, len(m.OutputNames()))
+		for i, n := range m.OutputNames() {
+			out[i] = schema.IndexOf(n)
+		}
+		mods = append(mods, modCols{
+			m: m, in: in, out: out,
+			enforced: m.Visibility() == module.Public && !e.Privatized.Has(m.Name()),
+		})
+	}
+
+	rows := make([]relation.Tuple, nRows)
+	for i, r := range baseRows {
+		rows[i] = r.Clone()
+	}
+
+	rowOK := func(r int) bool {
+		row := rows[r]
+		// Visible public modules must compute their real function.
+		for _, mc := range mods {
+			if !mc.enforced {
+				continue
+			}
+			x := make(relation.Tuple, len(mc.in))
+			for i, c := range mc.in {
+				x[i] = row[c]
+			}
+			y := mc.m.MustEval(x)
+			for i, c := range mc.out {
+				if row[c] != y[i] {
+					return false
+				}
+			}
+		}
+		// FDs against earlier rows: equal module inputs force equal outputs.
+		for _, mc := range mods {
+			for s := 0; s < r; s++ {
+				same := true
+				for _, c := range mc.in {
+					if rows[s][c] != row[c] {
+						same = false
+						break
+					}
+				}
+				if !same {
+					continue
+				}
+				for _, c := range mc.out {
+					if rows[s][c] != row[c] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	explored := uint64(0)
+	stopped := false
+	overBudget := false
+	// assignRow enumerates the hidden cells of row r, then recurses.
+	var assignRow func(r int) bool // returns false to stop everything
+	var assignCell func(r, h int) bool
+	assignRow = func(r int) bool {
+		if r == len(rows) {
+			cont := fn(rows)
+			if !cont {
+				stopped = true
+			}
+			return cont
+		}
+		return assignCell(r, 0)
+	}
+	assignCell = func(r, h int) bool {
+		if h == len(hiddenCols) {
+			explored++
+			if explored > budget {
+				overBudget = true
+				return false
+			}
+			if !rowOK(r) {
+				return true // prune this assignment, keep going
+			}
+			return assignRow(r + 1)
+		}
+		col := hiddenCols[h]
+		orig := rows[r][col]
+		for v := 0; v < e.W.Schema().Attr(col).Domain; v++ {
+			rows[r][col] = v
+			if !assignCell(r, h+1) {
+				rows[r][col] = orig
+				return false
+			}
+		}
+		rows[r][col] = orig
+		return true
+	}
+	assignRow(0)
+	if overBudget {
+		return fmt.Errorf("worlds: enumeration budget %d exhausted", budget)
+	}
+	_ = stopped
+	return nil
+}
+
+// Count returns the number of possible worlds.
+func (e *Enumerator) Count() (uint64, error) {
+	var n uint64
+	err := e.EachWorld(func([]relation.Tuple) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// OutSet computes OUT_{x,W} for the named module per Definition 5: the set
+// of outputs y such that some possible world maps every occurrence of input
+// x at that module to y. Worlds in which x never occurs as the module's
+// input admit every output (the implication is vacuous) — the detail that
+// makes privatization effective (section 5.1).
+func (e *Enumerator) OutSet(target string, x relation.Tuple) ([]relation.Tuple, error) {
+	m := e.W.Module(target)
+	if m == nil {
+		return nil, fmt.Errorf("worlds: no module %q", target)
+	}
+	schema := e.W.Schema()
+	inCols := make([]int, len(m.InputNames()))
+	for i, n := range m.InputNames() {
+		inCols[i] = schema.IndexOf(n)
+	}
+	outCols := make([]int, len(m.OutputNames()))
+	for i, n := range m.OutputNames() {
+		outCols[i] = schema.IndexOf(n)
+	}
+	outSchema := m.OutputSchema()
+	found := make(map[uint64]bool)
+	vacuousAll := false
+	err := e.EachWorld(func(rows []relation.Tuple) bool {
+		var y relation.Tuple
+		consistent := true
+		seen := false
+		for _, row := range rows {
+			match := true
+			for i, c := range inCols {
+				if row[c] != x[i] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			cur := make(relation.Tuple, len(outCols))
+			for i, c := range outCols {
+				cur[i] = row[c]
+			}
+			if !seen {
+				seen = true
+				y = cur
+			} else if !y.Equal(cur) {
+				consistent = false
+				break
+			}
+		}
+		if !consistent {
+			return true
+		}
+		if !seen {
+			vacuousAll = true
+			return false // every output possible; no need to continue
+		}
+		found[relation.Encode(outSchema, y)] = true
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if vacuousAll {
+		return relation.AllTuples(outSchema), nil
+	}
+	out := make([]relation.Tuple, 0, len(found))
+	relation.EachTuple(outSchema, func(t relation.Tuple) bool {
+		if found[relation.Encode(outSchema, t)] {
+			out = append(out, t.Clone())
+		}
+		return true
+	})
+	return out, nil
+}
+
+// IsWorkflowPrivate reports whether the named module is Γ-workflow-private
+// w.r.t. the enumerator's visible set (Definition 5): |OUT_{x,W}| >= Γ for
+// every input x the module receives in R.
+func (e *Enumerator) IsWorkflowPrivate(target string, gamma uint64) (bool, error) {
+	m := e.W.Module(target)
+	if m == nil {
+		return false, fmt.Errorf("worlds: no module %q", target)
+	}
+	inputs, err := e.R.Project(m.InputNames())
+	if err != nil {
+		return false, err
+	}
+	for _, x := range inputs.Rows() {
+		out, err := e.OutSet(target, x)
+		if err != nil {
+			return false, err
+		}
+		if uint64(len(out)) < gamma {
+			return false, nil
+		}
+	}
+	return true, nil
+}

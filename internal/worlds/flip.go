@@ -1,0 +1,138 @@
+// Package worlds implements the possible-worlds semantics of the paper
+// (Davidson et al., PODS 2011, Definitions 1, 4, 5 and 6) for whole
+// workflows: tuple/function flipping (appendix B.3), the flipping-based
+// world construction behind Lemma 1 / Theorem 4, exhaustive world
+// enumeration for tiny instances (used to verify the assembly theorems and
+// the public-module counterexamples), and world counting for Proposition 2.
+package worlds
+
+import (
+	"fmt"
+
+	"secureview/internal/module"
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+// PQ is a pair of partial tuples p, q over a common attribute set, the
+// parameters of the FLIP operator. Values are keyed by attribute name.
+type PQ struct {
+	P, Q map[string]relation.Value
+}
+
+// FlipTuple applies FLIP_{p,q} to a tuple x over the named attributes
+// (appendix B.3): positions where x agrees with p take q's value, positions
+// where x agrees with q take p's value, and everything else is unchanged.
+// FlipTuple is an involution: FlipTuple(FlipTuple(x)) == x.
+func (pq PQ) FlipTuple(x relation.Tuple, names []string) relation.Tuple {
+	y := x.Clone()
+	for i, name := range names {
+		p, hasP := pq.P[name]
+		q, hasQ := pq.Q[name]
+		if !hasP || !hasQ {
+			continue
+		}
+		switch x[i] {
+		case p:
+			y[i] = q
+		case q:
+			y[i] = p
+		}
+	}
+	return y
+}
+
+// FlipFunc returns FLIP_{m,p,q} = FLIP ∘ m ∘ FLIP (Definition 7): flip the
+// input, apply the module, flip the output.
+func (pq PQ) FlipFunc(m *module.Module) module.Func {
+	inNames := m.InputNames()
+	outNames := m.OutputNames()
+	return func(x relation.Tuple) relation.Tuple {
+		return pq.FlipTuple(m.MustEval(pq.FlipTuple(x, inNames)), outNames)
+	}
+}
+
+// FlipWorld constructs the possible world used in the proof of Lemma 1:
+// given a target private module, an input x and a candidate output
+// y ∈ OUT_{x,m} w.r.t. the visible attributes, it finds the Lemma 2 witness
+// (x', y' = m(x')) agreeing with (x, y) on the visible attributes, builds
+// p = (x,y), q = (x',y') over I∪O of the target, and redefines every module
+// mj to FLIP_{mj,p,q}. The returned workflow maps x to y at the target
+// module and (for all-private workflows) its relation has the same visible
+// projection as the original — which the tests verify, re-proving Theorem 4
+// constructively on concrete instances.
+func FlipWorld(w *workflow.Workflow, target string, visible relation.NameSet, x, y relation.Tuple) (*workflow.Workflow, PQ, error) {
+	m := w.Module(target)
+	if m == nil {
+		return nil, PQ{}, fmt.Errorf("worlds: no module %q", target)
+	}
+	mv := privacy.NewModuleView(m)
+	witX, witY, err := lemma2Witness(mv, visible, x, y)
+	if err != nil {
+		return nil, PQ{}, err
+	}
+	pq := PQ{P: map[string]relation.Value{}, Q: map[string]relation.Value{}}
+	for i, name := range m.InputNames() {
+		pq.P[name] = x[i]
+		pq.Q[name] = witX[i]
+	}
+	for i, name := range m.OutputNames() {
+		pq.P[name] = y[i]
+		pq.Q[name] = witY[i]
+	}
+	fns := make(map[string]module.Func)
+	for _, mj := range w.Modules() {
+		fns[mj.Name()] = pq.FlipFunc(mj)
+	}
+	redefined, err := w.Redefine(fns)
+	if err != nil {
+		return nil, PQ{}, err
+	}
+	return redefined, pq, nil
+}
+
+// lemma2Witness finds x' ∈ π_I(R) with y' = m(x') such that x, x' agree on
+// visible inputs and y, y' agree on visible outputs (Lemma 2). It returns
+// an error when none exists, i.e. when y ∉ OUT_{x,m}.
+func lemma2Witness(mv privacy.ModuleView, visible relation.NameSet, x, y relation.Tuple) (relation.Tuple, relation.Tuple, error) {
+	inCols, err := mv.Rel.Schema().Columns(mv.Inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	outCols, err := mv.Rel.Schema().Columns(mv.Outputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range mv.Rel.Rows() {
+		ok := true
+		for i, c := range inCols {
+			if visible.Has(mv.Inputs[i]) && row[c] != x[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i, c := range outCols {
+			if visible.Has(mv.Outputs[i]) && row[c] != y[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		witX := make(relation.Tuple, len(inCols))
+		for i, c := range inCols {
+			witX[i] = row[c]
+		}
+		witY := make(relation.Tuple, len(outCols))
+		for i, c := range outCols {
+			witY[i] = row[c]
+		}
+		return witX, witY, nil
+	}
+	return nil, nil, fmt.Errorf("worlds: no Lemma 2 witness: y not in OUT_{x,m}")
+}

@@ -1,0 +1,144 @@
+package worlds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/module"
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+// TestQuickLemma1 mechanizes the paper's central Lemma 1 on random
+// all-private workflows: for every module mi, every input x, and every
+// candidate output y in the STANDALONE OUT set w.r.t. a random visible
+// choice of mi's attributes, the flipping construction yields a possible
+// world that (a) maps x to y at mi and (b) agrees with the original
+// workflow relation on all of mi's visible attributes — hence
+// |OUT_{x,W}| >= |OUT_{x,mi}| and Theorem 4 follows.
+func TestQuickLemma1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomAllPrivateWorkflow(rng)
+		// Pick a target module and a random visible subset of its attrs.
+		mods := w.Modules()
+		target := mods[rng.Intn(len(mods))]
+		mv := privacy.NewModuleView(target)
+		visible := make(relation.NameSet)
+		for _, a := range mv.Attrs() {
+			if rng.Intn(2) == 0 {
+				visible.Add(a)
+			}
+		}
+		// Everything outside the module is visible (the Lemma 1 setting:
+		// V̄ = V̄i).
+		fullVisible := relation.NewNameSet(w.Schema().Names()...).
+			Minus(relation.NewNameSet(mv.Attrs()...)).
+			Union(visible)
+
+		origR := w.MustRelation()
+		visNames := fullVisible.FilterSorted(w.Schema().Names())
+		origVis, err := origR.Project(visNames)
+		if err != nil {
+			return false
+		}
+
+		// For every input and every standalone OUT candidate, build the
+		// flip world and check both Lemma 1 claims.
+		ok := true
+		relation.EachTuple(target.InputSchema(), func(x relation.Tuple) bool {
+			outs, err := mv.OutSet(visible, x)
+			if err != nil {
+				ok = false
+				return false
+			}
+			for _, y := range outs {
+				redefined, _, err := FlipWorld(w, target.Name(), visible, x, y)
+				if err != nil {
+					ok = false
+					return false
+				}
+				if !redefined.Module(target.Name()).MustEval(x).Equal(y) {
+					ok = false
+					return false
+				}
+				newVis, err := redefined.MustRelation().Project(visNames)
+				if err != nil || !newVis.Equal(origVis) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomAllPrivateWorkflow builds a small random workflow with data
+// sharing: two sources feeding two downstream modules.
+func randomAllPrivateWorkflow(rng *rand.Rand) *workflow.Workflow {
+	m1 := module.Random("m1", relation.Bools("x1", "x2"), relation.Bools("u1", "u2"), rng)
+	m2 := module.Random("m2", relation.Bools("u1", "u2"), relation.Bools("v1"), rng)
+	m3 := module.Random("m3", relation.Bools("u2", "x1"), relation.Bools("w1"), rng)
+	return workflow.MustNew("rand", m1, m2, m3)
+}
+
+// TestQuickFlipFuncIsWorldMember: flipping every module of an all-private
+// workflow by a shared (p, q) pair keeps the relation a member of
+// Worlds(R, V) whenever p, q agree on the visible attributes of the target
+// module — the inductive invariant inside the Lemma 1 proof.
+func TestQuickFlipPreservesVisibleColumns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomAllPrivateWorkflow(rng)
+		target := w.Modules()[rng.Intn(3)]
+		mv := privacy.NewModuleView(target)
+
+		// Choose p = (x, m(x)) and q = (x', m(x')) for random inputs: the
+		// flip then swaps two executions, and all attributes of OTHER
+		// modules stay consistent after flipping them too.
+		xs := relation.AllTuples(target.InputSchema())
+		x := xs[rng.Intn(len(xs))]
+		xp := xs[rng.Intn(len(xs))]
+		y := target.MustEval(x)
+		yp := target.MustEval(xp)
+		pq := PQ{P: map[string]relation.Value{}, Q: map[string]relation.Value{}}
+		for i, n := range target.InputNames() {
+			pq.P[n] = x[i]
+			pq.Q[n] = xp[i]
+		}
+		for i, n := range target.OutputNames() {
+			pq.P[n] = y[i]
+			pq.Q[n] = yp[i]
+		}
+		fns := make(map[string]module.Func)
+		for _, m := range w.Modules() {
+			fns[m.Name()] = pq.FlipFunc(m)
+		}
+		redefined, err := w.Redefine(fns)
+		if err != nil {
+			return false
+		}
+		// Attributes where p and q agree are untouched by flips, so the
+		// projection on them must be preserved.
+		agree := relation.NewNameSet(w.Schema().Names()...).
+			Minus(relation.NewNameSet(mv.Attrs()...))
+		for name, pv := range pq.P {
+			if qv := pq.Q[name]; pv == qv {
+				agree.Add(name)
+			}
+		}
+		names := agree.FilterSorted(w.Schema().Names())
+		a, err1 := w.MustRelation().Project(names)
+		b, err2 := redefined.MustRelation().Project(names)
+		return err1 == nil && err2 == nil && a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package worlds
+
+import (
+	"fmt"
+	"math"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+)
+
+// CountFunctionWorlds counts the standalone possible worlds Worlds(R, V) of
+// a total module (Definition 1) by enumerating every function f: Dom →
+// Range and keeping those whose graph projects onto the visible attributes
+// exactly like the module's relation. Example 2 of the paper reports 64
+// such worlds for m1 with V = {a1, a3, a5}; the E1 experiment reproduces
+// that number with this function.
+//
+// The enumeration size is |Range|^|Dom|; callers must keep the module tiny.
+func CountFunctionWorlds(m *module.Module, visible relation.NameSet) (uint64, error) {
+	domSize, ok := m.InputDomainSize()
+	if !ok {
+		return 0, fmt.Errorf("worlds: input domain too large")
+	}
+	rangeSize, ok := m.OutputSchema().DomainProduct(m.OutputNames())
+	if !ok {
+		return 0, fmt.Errorf("worlds: output range too large")
+	}
+	if total := math.Pow(float64(rangeSize), float64(domSize)); total > 1<<26 {
+		return 0, fmt.Errorf("worlds: %g candidate functions too many", total)
+	}
+	target, err := m.Relation().Project(visible.FilterSorted(m.AttrNames()))
+	if err != nil {
+		return 0, err
+	}
+	inputs := relation.AllTuples(m.InputSchema())
+	outputs := relation.AllTuples(m.OutputSchema())
+	visNames := visible.FilterSorted(m.AttrNames())
+
+	schema := m.Schema()
+	count := uint64(0)
+	err = eachFunctionWorld(m, func(choice []int) bool {
+		// Build the candidate function's visible projection.
+		cand := relation.New(target.Schema())
+		row := make(relation.Tuple, schema.Len())
+		for i, x := range inputs {
+			copy(row, x)
+			copy(row[len(x):], outputs[choice[i]])
+			proj := make(relation.Tuple, len(visNames))
+			for j, n := range visNames {
+				proj[j] = row[schema.IndexOf(n)]
+			}
+			_ = cand.Insert(proj)
+		}
+		if cand.Equal(target) {
+			count++
+		}
+		return true
+	})
+	return count, err
+}
+
+// eachFunctionWorld enumerates every total function Dom → Range of the
+// module as an output-index choice per input (mixed-radix counter), calling
+// fn for each; fn returning false stops early.
+func eachFunctionWorld(m *module.Module, fn func(choice []int) bool) error {
+	domSize, _ := m.InputDomainSize()
+	rangeSize, _ := m.OutputSchema().DomainProduct(m.OutputNames())
+	choice := make([]int, domSize)
+	for {
+		if !fn(choice) {
+			return nil
+		}
+		i := len(choice) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if uint64(choice[i]) < rangeSize {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// FunctionWorldOutSet computes OUT_{x,m} directly from Definition 2 by
+// enumerating every function world (Definition 1 restricted to total
+// functions over the module's domain, which is the module relation's
+// setting in the paper's examples) and collecting the outputs assigned to
+// x in worlds whose visible projection matches. It exists purely to cross-
+// validate the Lemma 4 closed form in privacy.ModuleView.OutSet; the two
+// must agree on total modules.
+func FunctionWorldOutSet(m *module.Module, visible relation.NameSet, x relation.Tuple) ([]relation.Tuple, error) {
+	domSize, ok := m.InputDomainSize()
+	if !ok {
+		return nil, fmt.Errorf("worlds: input domain too large")
+	}
+	rangeSize, ok := m.OutputSchema().DomainProduct(m.OutputNames())
+	if !ok {
+		return nil, fmt.Errorf("worlds: output range too large")
+	}
+	if total := math.Pow(float64(rangeSize), float64(domSize)); total > 1<<24 {
+		return nil, fmt.Errorf("worlds: %g candidate functions too many", total)
+	}
+	target, err := m.Relation().Project(visible.FilterSorted(m.AttrNames()))
+	if err != nil {
+		return nil, err
+	}
+	inputs := relation.AllTuples(m.InputSchema())
+	outputs := relation.AllTuples(m.OutputSchema())
+	visNames := visible.FilterSorted(m.AttrNames())
+	schema := m.Schema()
+	xIdx := -1
+	for i, in := range inputs {
+		if in.Equal(x) {
+			xIdx = i
+			break
+		}
+	}
+	if xIdx < 0 {
+		return nil, fmt.Errorf("worlds: input %v not in domain", x)
+	}
+	found := make(map[uint64]bool)
+	err = eachFunctionWorld(m, func(choice []int) bool {
+		cand := relation.New(target.Schema())
+		row := make(relation.Tuple, schema.Len())
+		for i, in := range inputs {
+			copy(row, in)
+			copy(row[len(in):], outputs[choice[i]])
+			proj := make(relation.Tuple, len(visNames))
+			for j, n := range visNames {
+				proj[j] = row[schema.IndexOf(n)]
+			}
+			_ = cand.Insert(proj)
+		}
+		if cand.Equal(target) {
+			found[relation.Encode(m.OutputSchema(), outputs[choice[xIdx]])] = true
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relation.Tuple, 0, len(found))
+	relation.EachTuple(m.OutputSchema(), func(y relation.Tuple) bool {
+		if found[relation.Encode(m.OutputSchema(), y)] {
+			out = append(out, y.Clone())
+		}
+		return true
+	})
+	return out, nil
+}

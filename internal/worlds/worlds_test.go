@@ -1,0 +1,398 @@
+package worlds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureview/internal/module"
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+// Property: FLIP is an involution on tuples.
+func TestQuickFlipInvolution(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pq := PQ{P: map[string]relation.Value{}, Q: map[string]relation.Value{}}
+		for _, n := range names {
+			pq.P[n] = rng.Intn(3)
+			pq.Q[n] = rng.Intn(3)
+		}
+		x := relation.Tuple{rng.Intn(3), rng.Intn(3), rng.Intn(3)}
+		once := pq.FlipTuple(x, names)
+		twice := pq.FlipTuple(once, names)
+		return twice.Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipTupleSemantics(t *testing.T) {
+	pq := PQ{
+		P: map[string]relation.Value{"a": 0, "b": 1},
+		Q: map[string]relation.Value{"a": 1, "b": 1},
+	}
+	// a: 0<->1 swap; b: p=q=1, unchanged; c: not in P/Q, unchanged.
+	got := pq.FlipTuple(relation.Tuple{0, 1, 7}, []string{"a", "b", "c"})
+	if !got.Equal(relation.Tuple{1, 1, 7}) {
+		t.Fatalf("flip = %v, want [1 1 7]", got)
+	}
+	// Value not equal to p or q is unchanged.
+	got = pq.FlipTuple(relation.Tuple{2, 0, 0}, []string{"a", "b", "c"})
+	if !got.Equal(relation.Tuple{2, 0, 0}) {
+		t.Fatalf("flip = %v, want unchanged", got)
+	}
+}
+
+// The worked illustration below Lemma 2: for m1 with V = {a1,a3,a5},
+// x = (0,0) and y = (1,0,0), the witness is x' = (0,1) with
+// y' = m1(x') = (1,1,0), and the flipped workflow maps x to y while keeping
+// the visible projection of the whole Figure 1 workflow unchanged.
+func TestFlipWorldLemma2Illustration(t *testing.T) {
+	w := workflow.Fig1()
+	visible := relation.NewNameSet("a1", "a3", "a5", "a6", "a7")
+	x := relation.Tuple{0, 0}
+	y := relation.Tuple{1, 0, 0}
+	redefined, pq, err := FlipWorld(w, "m1", visible, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q must be the witness (0,1) -> (1,1,0).
+	if pq.Q["a1"] != 0 || pq.Q["a2"] != 1 {
+		t.Errorf("witness input = (%d,%d), want (0,1)", pq.Q["a1"], pq.Q["a2"])
+	}
+	if pq.Q["a3"] != 1 || pq.Q["a4"] != 1 || pq.Q["a5"] != 0 {
+		t.Errorf("witness output = (%d,%d,%d), want (1,1,0)", pq.Q["a3"], pq.Q["a4"], pq.Q["a5"])
+	}
+	g1 := redefined.Module("m1")
+	if got := g1.MustEval(x); !got.Equal(y) {
+		t.Fatalf("g1(%v) = %v, want %v", x, got, y)
+	}
+	// The flipped world projects identically on the visible attributes of
+	// m1 (a1, a3, a5). Note a6/a7 visibility holds for the all-private
+	// workflow per Theorem 4 when the remaining modules are also flipped.
+	origR := w.MustRelation()
+	newR := redefined.MustRelation()
+	for _, attrs := range [][]string{{"a1", "a3", "a5"}} {
+		po, _ := origR.Project(attrs)
+		pn, _ := newR.Project(attrs)
+		if !po.Equal(pn) {
+			t.Errorf("visible projection on %v changed:\n%v\nvs\n%v", attrs, po, pn)
+		}
+	}
+}
+
+// Theorem 4, verified exhaustively on Figure 1: hiding the union of
+// per-module standalone safe hidden sets gives Γ-workflow-privacy for all
+// modules, measured by full possible-world enumeration.
+func TestTheorem4AssemblyFig1(t *testing.T) {
+	w := workflow.Fig1()
+	const gamma = 2
+	// Standalone safe hidden sets: m1: {a4,a5} (Example 3 family, Γ=2
+	// holds since Γ=4 does); m2: {a6}; m3: {a7}.
+	hidden := relation.NewNameSet("a4", "a5", "a6", "a7")
+	for _, m := range w.Modules() {
+		mv := privacy.NewModuleView(m)
+		vis := relation.NewNameSet(mv.Attrs()...).Minus(hidden)
+		safe, err := mv.IsSafe(vis, gamma)
+		if err != nil || !safe {
+			t.Fatalf("module %s standalone unsafe with hidden %v: %v", m.Name(), hidden, err)
+		}
+	}
+	visible := relation.NewNameSet(w.Schema().Names()...).Minus(hidden)
+	e := &Enumerator{W: w, R: w.MustRelation(), Visible: visible}
+	for _, m := range w.Modules() {
+		private, err := e.IsWorkflowPrivate(m.Name(), gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !private {
+			t.Errorf("module %s not %d-workflow-private", m.Name(), gamma)
+		}
+	}
+}
+
+// Proposition 2: for the two-module one-one chain with the hidden set
+// being logΓ output bits of m1, the standalone worlds number Γ^(2^k) while
+// the workflow worlds number (Γ!)^(2^k / Γ).
+func TestProposition2WorldCounts(t *testing.T) {
+	const k = 2
+	// m1 = identity, m2 = complement, both one-one over k bits.
+	chain := workflow.Chain("prop2", 2, k, "identity")
+	m2 := module.Complement("m2", []string{"x1_0", "x1_1"}, []string{"x2_0", "x2_1"})
+	w := workflow.MustNew("prop2", chain.Module("m1"), m2)
+
+	// Hide one output bit of m1: logΓ = 1, Γ = 2.
+	hidden := relation.NewNameSet("x1_0")
+	visible := relation.NewNameSet(w.Schema().Names()...).Minus(hidden)
+
+	// Standalone worlds of m1 (a single-module workflow).
+	standalone := workflow.MustNew("m1-only", workflow.Chain("c", 1, k, "identity").Module("m1"))
+	es := &Enumerator{
+		W: standalone, R: standalone.MustRelation(),
+		Visible: relation.NewNameSet(standalone.Schema().Names()...).Minus(hidden),
+	}
+	nStandalone, err := es.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nStandalone != 16 { // Γ^(2^k) = 2^4
+		t.Errorf("standalone worlds = %d, want 16", nStandalone)
+	}
+
+	ew := &Enumerator{W: w, R: w.MustRelation(), Visible: visible}
+	nWorkflow, err := ew.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nWorkflow != 4 { // (Γ!)^(2^k/Γ) = 2^2
+		t.Errorf("workflow worlds = %d, want 4", nWorkflow)
+	}
+
+	// Despite the collapse in world count, privacy is preserved (the crux
+	// of section 4.1): m1 stays 2-workflow-private.
+	private, err := ew.IsWorkflowPrivate("m1", 2)
+	if err != nil || !private {
+		t.Errorf("m1 not 2-workflow-private: %v", err)
+	}
+}
+
+// Example 7, first half: a private one-one module fed by a public constant
+// module leaks completely — the standalone-safe hidden set gives
+// |OUT| = 1 — and privatizing the public module restores Γ-privacy.
+func TestExample7ConstantUpstream(t *testing.T) {
+	mPub := module.Constant("mprime", relation.Bools("i0"), relation.Bools("u1", "u2"), relation.Tuple{0, 1}).AsPublic()
+	mPriv := module.Identity("m", []string{"u1", "u2"}, []string{"v1", "v2"})
+	w := workflow.MustNew("ex7", mPub, mPriv)
+
+	// Hiding one input bit of m is 2-standalone-private for m.
+	hidden := relation.NewNameSet("u1")
+	mv := privacy.NewModuleView(mPriv)
+	safe, err := mv.IsSafe(relation.NewNameSet("u2", "v1", "v2"), 2)
+	if err != nil || !safe {
+		t.Fatalf("standalone safety precondition failed: %v", err)
+	}
+
+	visible := relation.NewNameSet(w.Schema().Names()...).Minus(hidden)
+	R := w.MustRelation()
+
+	// With mprime public and visible: the only world is R itself, so m's
+	// output for its actual input is fully determined.
+	e := &Enumerator{W: w, R: R, Visible: visible}
+	out, err := e.OutSet("m", relation.Tuple{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("|OUT| with visible public module = %d, want 1 (leak)", len(out))
+	}
+
+	// Privatizing mprime restores >= 2 possible outputs.
+	ep := &Enumerator{W: w, R: R, Visible: visible, Privatized: relation.NewNameSet("mprime")}
+	outP, err := ep.OutSet("m", relation.Tuple{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outP) < 2 {
+		t.Fatalf("|OUT| with privatized module = %d, want >= 2", len(outP))
+	}
+}
+
+// Example 7, second half: a private module whose hidden output feeds a
+// visible public invertible module leaks (the adversary inverts it);
+// privatization repairs it.
+func TestExample7InvertibleDownstream(t *testing.T) {
+	mPriv := module.Identity("m", []string{"i0"}, []string{"u"})
+	mPub := module.Complement("mpp", []string{"u"}, []string{"v"}).AsPublic()
+	w := workflow.MustNew("ex7b", mPriv, mPub)
+	hidden := relation.NewNameSet("u")
+	visible := relation.NewNameSet(w.Schema().Names()...).Minus(hidden)
+	R := w.MustRelation()
+
+	// Standalone, hiding m's only output is 2-private.
+	mv := privacy.NewModuleView(mPriv)
+	if safe, err := mv.IsSafe(relation.NewNameSet("i0"), 2); err != nil || !safe {
+		t.Fatalf("standalone safety precondition failed: %v", err)
+	}
+
+	e := &Enumerator{W: w, R: R, Visible: visible}
+	out, err := e.OutSet("m", relation.Tuple{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("|OUT| with visible invertible public module = %d, want 1", len(out))
+	}
+
+	ep := &Enumerator{W: w, R: R, Visible: visible, Privatized: relation.NewNameSet("mpp")}
+	outP, err := ep.OutSet("m", relation.Tuple{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outP) < 2 {
+		t.Fatalf("|OUT| after privatization = %d, want >= 2", len(outP))
+	}
+}
+
+func TestEnumeratorRejectsHiddenInitialInput(t *testing.T) {
+	w := workflow.Fig1()
+	e := &Enumerator{
+		W: w, R: w.MustRelation(),
+		Visible: relation.NewNameSet("a2", "a3", "a4", "a5", "a6", "a7"), // a1 hidden
+	}
+	if _, err := e.Count(); err == nil {
+		t.Error("hidden initial input accepted")
+	}
+}
+
+func TestEnumeratorBudget(t *testing.T) {
+	w := workflow.Chain("big", 1, 4, "identity")
+	hidden := relation.NewNameSet("x1_0", "x1_1", "x1_2", "x1_3")
+	e := &Enumerator{
+		W: w, R: w.MustRelation(),
+		Visible: relation.NewNameSet(w.Schema().Names()...).Minus(hidden),
+		Budget:  10,
+	}
+	if _, err := e.Count(); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}
+
+func TestFlipWorldErrors(t *testing.T) {
+	w := workflow.Fig1()
+	if _, _, err := FlipWorld(w, "nope", relation.NewNameSet(), relation.Tuple{0, 0}, relation.Tuple{0, 0, 0}); err == nil {
+		t.Error("unknown module accepted")
+	}
+	// y with mismatched visible output part has no witness.
+	visible := relation.NewNameSet("a1", "a2", "a3", "a4", "a5")
+	if _, _, err := FlipWorld(w, "m1", visible, relation.Tuple{0, 0}, relation.Tuple{1, 0, 0}); err == nil {
+		t.Error("non-member y accepted (fully visible module)")
+	}
+}
+
+// Property: with all module inputs visible and a random subset of outputs
+// hidden, the enumeration OUT set of a standalone module matches the
+// closed-form OUT size of Lemma 4.
+func TestQuickEnumerationMatchesClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := module.Random("m", relation.Bools("x1", "x2"), relation.Bools("y1", "y2"), rng)
+		w, err := workflow.New("solo", m)
+		if err != nil {
+			return false
+		}
+		hidden := make(relation.NameSet)
+		for _, o := range m.OutputNames() {
+			if rng.Intn(2) == 0 {
+				hidden.Add(o)
+			}
+		}
+		visible := relation.NewNameSet(w.Schema().Names()...).Minus(hidden)
+		e := &Enumerator{W: w, R: w.MustRelation(), Visible: visible}
+		mv := privacy.NewModuleView(m)
+		ok := true
+		relation.EachTuple(m.InputSchema(), func(x relation.Tuple) bool {
+			enumOut, err := e.OutSet("m", x)
+			if err != nil {
+				ok = false
+				return false
+			}
+			n, err := mv.OutSize(visible, x)
+			if err != nil || uint64(len(enumOut)) != n {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Example 2: |Worlds(R1, {a1,a3,a5})| = 64 for the Figure 1 module m1.
+func TestExample2SixtyFourWorlds(t *testing.T) {
+	n, err := CountFunctionWorlds(module.Fig1M1(), relation.NewNameSet("a1", "a3", "a5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 {
+		t.Fatalf("|Worlds(R1,V)| = %d, want 64", n)
+	}
+}
+
+// Fully visible: the only world is the module itself.
+func TestCountFunctionWorldsFullyVisible(t *testing.T) {
+	m := module.Fig1M1()
+	n, err := CountFunctionWorlds(m, relation.NewNameSet(m.AttrNames()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("fully visible worlds = %d, want 1", n)
+	}
+}
+
+// Cross-validation of the Lemma 4 closed form against a direct Definition 2
+// implementation: OUT sets computed by full function-world enumeration must
+// equal the group-by closed form on every visible subset of small random
+// modules. This is the strongest semantic check in the suite — it would
+// catch any misreading of the possible-worlds definitions.
+func TestQuickClosedFormMatchesFunctionWorlds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := module.Random("m", relation.Bools("x1", "x2"), relation.Bools("y1"), rng)
+		mv := privacy.NewModuleView(m)
+		attrs := mv.Attrs()
+		ok := true
+		for mask := 0; mask < 1<<len(attrs) && ok; mask++ {
+			visible := make(relation.NameSet)
+			for i, a := range attrs {
+				if mask&(1<<i) != 0 {
+					visible.Add(a)
+				}
+			}
+			relation.EachTuple(m.InputSchema(), func(x relation.Tuple) bool {
+				direct, err := FunctionWorldOutSet(m, visible, x)
+				if err != nil {
+					ok = false
+					return false
+				}
+				closed, err := mv.OutSet(visible, x)
+				if err != nil || len(direct) != len(closed) {
+					ok = false
+					return false
+				}
+				for i := range direct {
+					if !direct[i].Equal(closed[i]) {
+						ok = false
+						return false
+					}
+				}
+				return true
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Example 3 OUT set is reproduced by direct function-world enumeration
+// as well (not only by the closed form).
+func TestFunctionWorldOutSetExample3(t *testing.T) {
+	m := module.Fig1M1()
+	out, err := FunctionWorldOutSet(m, relation.NewNameSet("a1", "a3", "a5"), relation.Tuple{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("|OUT| = %d, want 4", len(out))
+	}
+}
