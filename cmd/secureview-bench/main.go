@@ -1,4 +1,4 @@
-// Command secureview-bench runs the reproduction experiments E1–E15 (see
+// Command secureview-bench runs the reproduction experiments E1–E20 (see
 // DESIGN.md section 4 and EXPERIMENTS.md) and prints their result tables.
 //
 // Usage:
@@ -6,6 +6,7 @@
 //	secureview-bench            # run everything, full parameter sweeps
 //	secureview-bench -quick     # trimmed sweeps (seconds, used in CI)
 //	secureview-bench -exp E8    # a single experiment
+//	secureview-bench -exp E20 -parallel 8
 package main
 
 import (
@@ -14,14 +15,17 @@ import (
 	"os"
 
 	"secureview/internal/exp"
+	"secureview/internal/search"
 )
 
 func main() {
 	var (
-		id    = flag.String("exp", "", "run a single experiment (E1..E15)")
-		quick = flag.Bool("quick", false, "trim parameter sweeps")
+		id       = flag.String("exp", "", "run a single experiment (E1..E20)")
+		quick    = flag.Bool("quick", false, "trim parameter sweeps")
+		parallel = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	search.SetDefaultParallelism(*parallel)
 
 	experiments := exp.Registry()
 	if *id != "" {

@@ -21,6 +21,7 @@ import (
 
 	"secureview/internal/privacy"
 	"secureview/internal/provenance"
+	"secureview/internal/search"
 	"secureview/internal/secureview"
 	"secureview/internal/spec"
 )
@@ -89,8 +90,10 @@ func main() {
 		variant  = flag.String("variant", "set", "set | cardinality")
 		showDemo = flag.Bool("demo", false, "print an example instance and exit")
 		seed     = flag.Int64("seed", 1, "randomized-rounding seed (cardinality lp)")
+		parallel = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	search.SetDefaultParallelism(*parallel)
 
 	if *showDemo {
 		raw, _ := json.MarshalIndent(demo(), "", "  ")

@@ -12,6 +12,8 @@
 //	internal/workflow    DAG wiring, execution, provenance relations
 //	internal/provenance  execution store and privacy-preserving views
 //	internal/privacy     Γ-standalone-privacy (section 3, appendix A)
+//	internal/search      bitset subset-search engine: Proposition 1 pruning,
+//	                     cost-ordered exploration, worker pool, memoized oracles
 //	internal/worlds      possible-world semantics, FLIP, enumeration
 //	internal/secureview  the Secure-View optimization (sections 4–5)
 //	internal/lp          two-phase simplex (substrate)

@@ -1,0 +1,3 @@
+module secureview
+
+go 1.24

@@ -12,6 +12,7 @@ import (
 	"secureview/internal/reductions"
 	"secureview/internal/relation"
 	"secureview/internal/sat"
+	"secureview/internal/search"
 	"secureview/internal/secureview"
 	"secureview/internal/workflow"
 	"secureview/internal/workload"
@@ -40,6 +41,7 @@ func Registry() []Experiment {
 		{ID: "E17", Title: "Solver ablation: exact enumeration vs branch-and-bound", Run: runE17},
 		{ID: "E18", Title: "Section 6 future work: non-uniform priors erode Γ-privacy", Run: runE18},
 		{ID: "E19", Title: "Scaling: greedy vs LP rounding vs exact on growing instances", Run: runE19},
+		{ID: "E20", Title: "Engine: pruned parallel subset search vs naive 2^k brute force", Run: runE20},
 	}
 }
 
@@ -196,8 +198,8 @@ func runE5(quick bool) []*Table {
 	}
 	rng := rand.New(rand.NewSource(5))
 	t := &Table{
-		Title:  "E5: standalone Secure-View brute force (Algorithm 2) scaling",
-		Header: []string{"k attrs", "N rows", "subsets 2^k", "min cost", "ms", "ms/2^k"},
+		Title:  "E5: standalone Secure-View search (Algorithm 2 via the pruned engine) scaling",
+		Header: []string{"k attrs", "N rows", "safety tests", "pruned", "min cost", "ms", "ms/2^k"},
 	}
 	for _, k := range ks {
 		nIn := k / 2
@@ -219,9 +221,9 @@ func runE5(quick bool) []*Table {
 			t.Note("k=%d: %v", k, err)
 			continue
 		}
-		t.Add(k, 1<<nIn, res.Checked, res.Cost, ms, ms/float64(int(1)<<k))
+		t.Add(k, 1<<nIn, res.Checked, res.Pruned, res.Cost, ms, ms/float64(int(1)<<k))
 	}
-	t.Note("paper: O(2^k N²) upper bound (Lemma 4), 2^Ω(k) lower bound (Theorem 3)")
+	t.Note("paper: O(2^k N²) upper bound (Lemma 4), 2^Ω(k) lower bound (Theorem 3); checked+pruned = 2^k, see E20 for the engine-vs-naive comparison")
 	return []*Table{t}
 }
 
@@ -740,6 +742,83 @@ func runE19(quick bool) []*Table {
 		t.Add(n, p.DataSharing(), gc, gMS, rc, lMS, exactCost, ratio)
 	}
 	t.Note("shape expectation: greedy is linear-time and within (γ+1)×OPT here (Theorem 7); LP rounding pays simplex time but tracks the LP lower bound")
+	return []*Table{t}
+}
+
+// runE20 measures what the internal/search engine buys over the naive
+// Lemma 4 / Algorithm 2 loop: identical optimal costs with far fewer safety
+// tests, thanks to cost-ordered exploration plus Proposition 1 pruning (and
+// a worker pool on multi-core hosts). The cost model is the paper's natural
+// one — hiding inputs costs more utility than hiding outputs — which is
+// exactly where the naive loop's numeric scan order wastes its tests: cheap
+// solutions live on the high (output) mask bits, so the naive loop burns an
+// enormous prefix of the space before its cost bound engages (Theorem 3
+// says the worst case stays exponential for everyone).
+func runE20(quick bool) []*Table {
+	ks := []int{8, 10, 12, 14}
+	if quick {
+		ks = []int{8, 10}
+	}
+	rng := rand.New(rand.NewSource(20))
+	t := &Table{
+		Title:  "E20: pruned parallel search vs naive brute force (random modules, c(input)=4, c(output)=1, Γ = 2^(k/2-1))",
+		Header: []string{"k attrs", "Γ", "naive checked", "naive ms", "engine checked", "engine pruned", "engine ms", "check ratio", "speedup", "costs equal"},
+	}
+	for _, k := range ks {
+		nIn := k / 2
+		in := make([]string, nIn)
+		for i := range in {
+			in[i] = fmt.Sprintf("x%d", i)
+		}
+		out := make([]string, k-nIn)
+		for i := range out {
+			out[i] = fmt.Sprintf("y%d", i)
+		}
+		m := module.Random("m", relation.Bools(in...), relation.Bools(out...), rng)
+		mv := privacy.NewModuleView(m)
+		costs := make(privacy.Costs, k)
+		for _, a := range in {
+			costs[a] = 4
+		}
+		for _, a := range out {
+			costs[a] = 1
+		}
+		gamma := uint64(1) << (k/2 - 1)
+
+		sp, err := search.NewSpace(mv.Attrs(), costs.Of)
+		if err != nil {
+			t.Note("k=%d: %v", k, err)
+			continue
+		}
+		oracle := func(v search.Mask) (bool, error) { return mv.IsSafe(sp.NameSet(v), gamma) }
+
+		start := time.Now()
+		naive, err := sp.NaiveMinCost(oracle)
+		naiveMS := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			t.Note("k=%d naive: %v", k, err)
+			continue
+		}
+		start = time.Now()
+		engine, err := sp.MinCost(oracle, search.Options{})
+		engineMS := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			t.Note("k=%d engine: %v", k, err)
+			continue
+		}
+		ratio := 0.0
+		if naive.Stats.Checked > 0 {
+			ratio = float64(naive.Stats.Checked) / math.Max(1, float64(engine.Stats.Checked))
+		}
+		speedup := 0.0
+		if engineMS > 0 {
+			speedup = naiveMS / engineMS
+		}
+		equal := naive.Found == engine.Found && (!naive.Found || naive.Cost == engine.Cost)
+		t.Add(k, gamma, naive.Stats.Checked, naiveMS, engine.Stats.Checked,
+			engine.Stats.Pruned, engineMS, ratio, speedup, equal)
+	}
+	t.Note("paper: Theorem 3 lower-bounds ANY algorithm at 2^Ω(k) tests; Proposition 1 monotonicity + cost ordering is what makes the practical cases cheap")
 	return []*Table{t}
 }
 

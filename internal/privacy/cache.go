@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"secureview/internal/relation"
+	"secureview/internal/search"
 )
 
 // Cache memoizes standalone analyses across workflows. The paper's section
@@ -62,6 +63,13 @@ func fingerprint(mv ModuleView, gamma uint64) string {
 // MinimalSafeHiddenSets returns the module view's minimal safe hidden sets,
 // computing and storing them on first use.
 func (c *Cache) MinimalSafeHiddenSets(mv ModuleView, gamma uint64) ([]relation.NameSet, error) {
+	return c.MinimalSafeHiddenSetsOpts(mv, gamma, search.Options{})
+}
+
+// MinimalSafeHiddenSetsOpts is MinimalSafeHiddenSets with engine options: a
+// cache miss runs the pruned search with the given worker parallelism, so
+// the memoized layer and the parallel engine compose.
+func (c *Cache) MinimalSafeHiddenSetsOpts(mv ModuleView, gamma uint64, opts search.Options) ([]relation.NameSet, error) {
 	key := fingerprint(mv, gamma)
 	c.mu.Lock()
 	cached, ok := c.entries[key]
@@ -75,7 +83,7 @@ func (c *Cache) MinimalSafeHiddenSets(mv ModuleView, gamma uint64) ([]relation.N
 
 	// Compute outside the lock; concurrent misses on the same key do
 	// redundant work but stay correct (last write wins with equal value).
-	sets, err := mv.MinimalSafeHiddenSets(gamma)
+	sets, err := mv.MinimalSafeHiddenSetsOpts(gamma, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,74 @@
+package privacy
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"secureview/internal/relation"
+)
+
+// CountingOracle wraps a SafeViewOracle and counts calls. It is safe for
+// concurrent use, so it can sit under the parallel search engine.
+type CountingOracle struct {
+	Inner SafeViewOracle
+	calls atomic.Int64
+}
+
+// IsSafe delegates and increments the call counter.
+func (c *CountingOracle) IsSafe(visible relation.NameSet) (bool, error) {
+	c.calls.Add(1)
+	return c.Inner.IsSafe(visible)
+}
+
+// Calls returns the number of oracle queries made so far.
+func (c *CountingOracle) Calls() int { return int(c.calls.Load()) }
+
+// MemoOracle wraps a SafeViewOracle with a concurrency-safe memo keyed by
+// the visible set, answering repeated queries without consulting the inner
+// oracle again. It is the name-set-level counterpart of search.Memoize:
+// layer it over a CountingOracle to see how many DISTINCT subsets a search
+// really tested, or over an expensive oracle (world enumeration, partial-log
+// analysis) shared by several searches. Errors are not memoized.
+type MemoOracle struct {
+	inner SafeViewOracle
+	mu    sync.RWMutex
+	memo  map[string]bool
+}
+
+// NewMemoOracle returns a memoizing wrapper around inner.
+func NewMemoOracle(inner SafeViewOracle) *MemoOracle {
+	return &MemoOracle{inner: inner, memo: make(map[string]bool)}
+}
+
+func memoKey(visible relation.NameSet) string {
+	return strings.Join(visible.Sorted(), "\x00")
+}
+
+// IsSafe answers from the memo when possible, else consults the inner
+// oracle. Concurrent misses on the same key may both consult the inner
+// oracle; both store the same answer, so the memo stays consistent.
+func (o *MemoOracle) IsSafe(visible relation.NameSet) (bool, error) {
+	key := memoKey(visible)
+	o.mu.RLock()
+	safe, ok := o.memo[key]
+	o.mu.RUnlock()
+	if ok {
+		return safe, nil
+	}
+	safe, err := o.inner.IsSafe(visible)
+	if err != nil {
+		return false, err
+	}
+	o.mu.Lock()
+	o.memo[key] = safe
+	o.mu.Unlock()
+	return safe, nil
+}
+
+// Len returns the number of memoized answers.
+func (o *MemoOracle) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.memo)
+}

@@ -2,10 +2,10 @@ package privacy
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"secureview/internal/relation"
+	"secureview/internal/search"
 )
 
 // Costs assigns a hiding penalty to each attribute. Missing attributes are
@@ -48,76 +48,89 @@ type SearchResult struct {
 	// Found is false when no subset (not even hiding everything) is safe,
 	// which happens when Γ exceeds the module's output-range size.
 	Found bool
-	// Checked counts safety tests performed (2^k for the brute force).
+	// Checked counts safety tests actually performed; Pruned counts the
+	// candidate subsets eliminated without a test (best-cost bound,
+	// Proposition 1 monotonicity, or early exit once the optimum is pinned).
+	// Checked + Pruned always equals 2^k.
 	Checked int
+	Pruned  int
 }
 
-// MinCostSafeSubset solves the standalone Secure-View problem by brute
-// force over all 2^k attribute subsets (the paper proves 2^Ω(k) is required
-// in the worst case, Theorem 3; k is small in practice, section 3.2).
+// searchSpace builds the mask universe for the module view's attributes.
+func (mv ModuleView) searchSpace(costs Costs) (*search.Space, error) {
+	return search.NewSpace(mv.Attrs(), costs.Of)
+}
+
+// maskOracle adapts the Lemma 4 safety test to the engine: the name set is
+// materialized per tested mask only, never for pruned candidates.
+func (mv ModuleView) maskOracle(sp *search.Space, gamma uint64) search.Oracle {
+	return func(visible search.Mask) (bool, error) {
+		return mv.IsSafe(sp.NameSet(visible), gamma)
+	}
+}
+
+// MinCostSafeSubset solves the standalone Secure-View problem over all 2^k
+// attribute subsets (the paper proves 2^Ω(k) safety tests are required in
+// the worst case, Theorem 3; k is small in practice, section 3.2) using the
+// pruned parallel engine of internal/search. Ties on cost are broken toward
+// the hidden set that is lexicographically smallest as a sorted name
+// sequence, so the result is deterministic.
 func (mv ModuleView) MinCostSafeSubset(costs Costs, gamma uint64) (SearchResult, error) {
+	return mv.MinCostSafeSubsetOpts(costs, gamma, search.Options{})
+}
+
+// MinCostSafeSubsetOpts is MinCostSafeSubset with engine options (worker
+// parallelism).
+func (mv ModuleView) MinCostSafeSubsetOpts(costs Costs, gamma uint64, opts search.Options) (SearchResult, error) {
 	attrs := mv.Attrs()
-	k := len(attrs)
-	if k > 24 {
-		return SearchResult{}, fmt.Errorf("privacy: %d attributes too many for brute force", k)
+	if len(attrs) > search.MaxAttrs {
+		return SearchResult{}, fmt.Errorf("privacy: %d attributes too many for brute force", len(attrs))
 	}
-	best := SearchResult{Cost: math.Inf(1)}
-	for mask := 0; mask < 1<<k; mask++ {
-		hidden := make(relation.NameSet)
-		cost := 0.0
-		for i, a := range attrs {
-			if mask&(1<<i) != 0 {
-				hidden.Add(a)
-				cost += costs.Of(a)
-			}
-		}
-		if cost >= best.Cost {
-			best.Checked++
-			continue
-		}
-		visible := relation.NewNameSet(attrs...).Minus(hidden)
-		safe, err := mv.IsSafe(visible, gamma)
-		if err != nil {
-			return SearchResult{}, err
-		}
-		best.Checked++
-		if safe {
-			best.Hidden = hidden
-			best.Visible = visible
-			best.Cost = cost
-			best.Found = true
-		}
+	sp, err := mv.searchSpace(costs)
+	if err != nil {
+		return SearchResult{}, fmt.Errorf("privacy: %w", err)
 	}
-	if !best.Found {
-		best.Cost = 0
+	res, err := sp.MinCost(mv.maskOracle(sp, gamma), opts)
+	if err != nil {
+		return SearchResult{}, err
 	}
-	return best, nil
+	out := SearchResult{
+		Found:   res.Found,
+		Checked: res.Stats.Checked,
+		Pruned:  res.Stats.Pruned,
+	}
+	if res.Found {
+		out.Hidden = sp.NameSet(res.Hidden)
+		out.Visible = sp.NameSet(sp.All() &^ res.Hidden)
+		out.Cost = res.Cost
+	}
+	return out, nil
 }
 
 // AllSafeVisibleSubsets enumerates every visible subset V ⊆ I∪O that is
-// safe for Γ. Exponential in k; intended for constraint-list derivation and
-// tests.
+// safe for Γ, in the engine's deterministic order. Exponential output;
+// intended for constraint-list derivation and tests.
 func (mv ModuleView) AllSafeVisibleSubsets(gamma uint64) ([]relation.NameSet, error) {
+	return mv.AllSafeVisibleSubsetsOpts(gamma, search.Options{})
+}
+
+// AllSafeVisibleSubsetsOpts is AllSafeVisibleSubsets with engine options.
+func (mv ModuleView) AllSafeVisibleSubsetsOpts(gamma uint64, opts search.Options) ([]relation.NameSet, error) {
 	attrs := mv.Attrs()
-	k := len(attrs)
-	if k > 20 {
-		return nil, fmt.Errorf("privacy: %d attributes too many to enumerate", k)
+	if len(attrs) > search.LevelMax {
+		return nil, fmt.Errorf("privacy: %d attributes too many to enumerate", len(attrs))
 	}
-	var out []relation.NameSet
-	for mask := 0; mask < 1<<k; mask++ {
-		visible := make(relation.NameSet)
-		for i, a := range attrs {
-			if mask&(1<<i) != 0 {
-				visible.Add(a)
-			}
-		}
-		safe, err := mv.IsSafe(visible, gamma)
-		if err != nil {
-			return nil, err
-		}
-		if safe {
-			out = append(out, visible)
-		}
+	sp, err := mv.searchSpace(nil)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: %w", err)
+	}
+	masks, _, err := sp.AllSafeVisible(mv.maskOracle(sp, gamma), opts)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: %w", err)
+	}
+	out := make([]relation.NameSet, len(masks))
+	for i, m := range masks {
+		out[i] = sp.NameSet(m)
 	}
 	return out, nil
 }
@@ -126,58 +139,31 @@ func (mv ModuleView) AllSafeVisibleSubsets(gamma uint64) ([]relation.NameSet, er
 // that V = (I∪O)\V̄ is safe for Γ. By Proposition 1 safety is monotone in
 // the hidden set, so these minimal sets generate all safe solutions and
 // serve as the per-module requirement lists Li of the workflow Secure-View
-// problem with set constraints (section 4.2).
+// problem with set constraints (section 4.2). The engine exploits the same
+// monotonicity to skip every dominated subset without a safety test.
 func (mv ModuleView) MinimalSafeHiddenSets(gamma uint64) ([]relation.NameSet, error) {
-	attrs := mv.Attrs()
-	k := len(attrs)
-	if k > 20 {
-		return nil, fmt.Errorf("privacy: %d attributes too many to enumerate", k)
-	}
-	all := relation.NewNameSet(attrs...)
-	// Order masks by popcount so minimality reduces to "no previously
-	// accepted set is a subset".
-	masksBySize := make([][]int, k+1)
-	for mask := 0; mask < 1<<k; mask++ {
-		pc := popcount(mask)
-		masksBySize[pc] = append(masksBySize[pc], mask)
-	}
-	var minimal []relation.NameSet
-	for size := 0; size <= k; size++ {
-		for _, mask := range masksBySize[size] {
-			hidden := make(relation.NameSet)
-			for i, a := range attrs {
-				if mask&(1<<i) != 0 {
-					hidden.Add(a)
-				}
-			}
-			dominated := false
-			for _, m := range minimal {
-				if m.SubsetOf(hidden) {
-					dominated = true
-					break
-				}
-			}
-			if dominated {
-				continue
-			}
-			safe, err := mv.IsSafe(all.Minus(hidden), gamma)
-			if err != nil {
-				return nil, err
-			}
-			if safe {
-				minimal = append(minimal, hidden)
-			}
-		}
-	}
-	return minimal, nil
+	return mv.MinimalSafeHiddenSetsOpts(gamma, search.Options{})
 }
 
-func popcount(x int) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
+// MinimalSafeHiddenSetsOpts is MinimalSafeHiddenSets with engine options.
+func (mv ModuleView) MinimalSafeHiddenSetsOpts(gamma uint64, opts search.Options) ([]relation.NameSet, error) {
+	attrs := mv.Attrs()
+	if len(attrs) > search.LevelMax {
+		return nil, fmt.Errorf("privacy: %d attributes too many to enumerate", len(attrs))
 	}
-	return n
+	sp, err := mv.searchSpace(nil)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: %w", err)
+	}
+	masks, _, err := sp.MinimalSafeHidden(mv.maskOracle(sp, gamma), opts)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: %w", err)
+	}
+	out := make([]relation.NameSet, len(masks))
+	for i, m := range masks {
+		out[i] = sp.NameSet(m)
+	}
+	return out, nil
 }
 
 // SafeViewOracle answers safety queries for a fixed module and Γ (the
@@ -186,21 +172,6 @@ type SafeViewOracle interface {
 	// IsSafe reports whether the visible set is safe.
 	IsSafe(visible relation.NameSet) (bool, error)
 }
-
-// CountingOracle wraps a SafeViewOracle and counts calls.
-type CountingOracle struct {
-	Inner SafeViewOracle
-	calls int
-}
-
-// IsSafe delegates and increments the call counter.
-func (c *CountingOracle) IsSafe(visible relation.NameSet) (bool, error) {
-	c.calls++
-	return c.Inner.IsSafe(visible)
-}
-
-// Calls returns the number of oracle queries made so far.
-func (c *CountingOracle) Calls() int { return c.calls }
 
 // relationOracle implements SafeViewOracle on a concrete module view.
 type relationOracle struct {
@@ -217,11 +188,48 @@ func (o relationOracle) IsSafe(visible relation.NameSet) (bool, error) {
 	return o.mv.IsSafe(visible, o.gamma)
 }
 
+// EngineMinCostWithOracle runs the pruned parallel engine against an
+// arbitrary Safe-View oracle. The oracle MUST be monotone (Proposition 1)
+// and safe for concurrent use — MemoOracle and CountingOracle add their own
+// bookkeeping safely but still delegate concurrently, so they do NOT make a
+// non-thread-safe inner oracle safe. For adversarial, non-monotone oracles
+// use MinCostSafeSubsetWithOracle, which assumes nothing. The engine asks
+// about each visible set at most once per call, so to amortize answers
+// ACROSS calls, pass the same MemoOracle to each.
+func EngineMinCostWithOracle(attrs []string, costs Costs, oracle SafeViewOracle, opts search.Options) (SearchResult, error) {
+	if len(attrs) > search.MaxAttrs {
+		return SearchResult{}, fmt.Errorf("privacy: %d attributes too many", len(attrs))
+	}
+	sp, err := search.NewSpace(attrs, costs.Of)
+	if err != nil {
+		return SearchResult{}, fmt.Errorf("privacy: %w", err)
+	}
+	res, err := sp.MinCost(func(visible search.Mask) (bool, error) {
+		return oracle.IsSafe(sp.NameSet(visible))
+	}, opts)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	out := SearchResult{
+		Found:   res.Found,
+		Checked: res.Stats.Checked,
+		Pruned:  res.Stats.Pruned,
+	}
+	if res.Found {
+		out.Hidden = sp.NameSet(res.Hidden)
+		out.Visible = sp.NameSet(sp.All() &^ res.Hidden)
+		out.Cost = res.Cost
+	}
+	return out, nil
+}
+
 // MinCostSafeSubsetWithOracle solves the standalone Secure-View decision
 // problem using only oracle calls: it asks the oracle about every subset in
 // increasing cost order until it finds a safe one of cost <= budget. It
 // returns the hidden set found (nil if none), its cost, and the number of
-// oracle calls. This is the generic 2^k-call upper bound of section 3.2.
+// oracle calls. This is the generic 2^k-call upper bound of section 3.2; it
+// deliberately assumes NOTHING about the oracle (no monotonicity), because
+// the Theorem 3 adversary answers inconsistently with any fixed module.
 func MinCostSafeSubsetWithOracle(attrs []string, costs Costs, oracle *CountingOracle, budget float64) (relation.NameSet, float64, int, error) {
 	k := len(attrs)
 	if k > 24 {

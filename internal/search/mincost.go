@@ -1,0 +1,303 @@
+package search
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Result is the outcome of a minimum-cost subset search.
+type Result struct {
+	// Hidden is the optimal hidden mask; its complement within the universe
+	// is the visible set the oracle accepted.
+	Hidden Mask
+	// Cost is the hidden mask's total cost.
+	Cost float64
+	// Found is false when no mask — not even hiding everything — is safe.
+	Found bool
+	// Stats reports safety tests performed vs candidates pruned.
+	Stats Stats
+}
+
+// frontierCap bounds the Proposition 1 domination stores; beyond it extra
+// frontier masks are dropped (pruning weakens, correctness is unaffected).
+const frontierCap = 256
+
+// sortedMax is the largest universe for which MinCost materializes and sorts
+// the full candidate list (16 bytes per mask; 64 MiB at k=22). Above it a
+// streaming scan with the same pruning is used.
+const sortedMax = 22
+
+// MinCost finds the minimum-cost hidden mask whose complementary visible set
+// the oracle accepts, sharding the 2^k mask space over a worker pool.
+//
+// Candidates are explored in ascending (cost, lexicographic) order, so the
+// first accepted candidate is the optimum and bounds everything after it;
+// ties on cost are broken deterministically toward the hidden set that is
+// lexicographically smallest as a sorted name sequence. Proposition 1
+// monotonicity prunes masks dominated by an already-decided visible set.
+func (s *Space) MinCost(oracle Oracle, opts Options) (Result, error) {
+	if s.K() <= sortedMax {
+		return s.minCostSorted(oracle, opts)
+	}
+	return s.minCostStreaming(oracle, opts)
+}
+
+type candidate struct {
+	mask Mask // hidden set
+	perm Mask // name-sorted permutation of mask, for O(1) lex compare
+	cost float64
+}
+
+// minCostSorted materializes all candidates, sorts them by (cost, lex), and
+// strides workers over the sorted list. The answer is the lowest-index safe
+// candidate; workers past the current best index stop wholesale.
+func (s *Space) minCostSorted(oracle Oracle, opts Options) (Result, error) {
+	n := 1 << s.K()
+	cands := make([]candidate, n)
+	for m := 1; m < n; m++ {
+		low := m & (m - 1)
+		i := bits.TrailingZeros32(uint32(m))
+		cands[m] = candidate{
+			mask: Mask(m),
+			perm: cands[low].perm | s.permBit[i],
+			cost: cands[low].cost + s.costs[i],
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].cost != cands[b].cost {
+			return cands[a].cost < cands[b].cost
+		}
+		return lexLess(cands[a].perm, cands[b].perm)
+	})
+
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+	all := s.All()
+	unsafeFront := newFrontier(frontierCap)
+	safeFront := newFrontier(frontierCap)
+	var bestIdx atomic.Int64
+	bestIdx.Store(int64(n)) // sentinel: nothing found
+	var checked, pruned atomic.Int64
+	var firstErr atomic.Value
+	var failed atomic.Bool
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for idx := w; idx < n; idx += workers {
+				if failed.Load() {
+					return
+				}
+				if int64(idx) > bestIdx.Load() {
+					// Everything at or after idx in this stride is beaten by
+					// the incumbent's sort position; count and stop.
+					pruned.Add(int64((n - idx + workers - 1) / workers))
+					return
+				}
+				visible := all &^ cands[idx].mask
+				if unsafeFront.dominatesSuper(visible) {
+					pruned.Add(1) // superset of a known-unsafe visible set
+					continue
+				}
+				if safeFront.dominatesSub(visible) {
+					// Subset of a known-safe visible set: safe without a test.
+					pruned.Add(1)
+					lowerBest(&bestIdx, int64(idx))
+					continue
+				}
+				checked.Add(1)
+				safe, err := oracle(visible)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					failed.Store(true)
+					return
+				}
+				if safe {
+					safeFront.insertMaximal(visible)
+					lowerBest(&bestIdx, int64(idx))
+				} else {
+					unsafeFront.insertMinimal(visible)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return Result{}, err
+	}
+	res := Result{Stats: Stats{Checked: int(checked.Load()), Pruned: int(pruned.Load())}}
+	if idx := bestIdx.Load(); idx < int64(n) {
+		res.Hidden = cands[idx].mask
+		res.Cost = cands[idx].cost
+		res.Found = true
+	}
+	return res, nil
+}
+
+// minCostStreaming scans the mask space in numeric order without the sorted
+// candidate list (used above sortedMax, where the list would not fit in
+// memory). Pruning uses a shared best-cost bound plus the domination stores;
+// each worker keeps its own incumbent and the results merge at the end with
+// the same (cost, lex) tie-break.
+func (s *Space) minCostStreaming(oracle Oracle, opts Options) (Result, error) {
+	n := 1 << s.K()
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+	all := s.All()
+	unsafeFront := newFrontier(frontierCap)
+	safeFront := newFrontier(frontierCap)
+	var bound atomicFloat
+	bound.Store(math.Inf(1))
+	var checked, pruned atomic.Int64
+	var firstErr atomic.Value
+	var failed atomic.Bool
+
+	type incumbent struct {
+		mask  Mask
+		perm  Mask
+		cost  float64
+		found bool
+	}
+	bests := make([]incumbent, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			best := &bests[w]
+			for m := w; m < n; m += workers {
+				if failed.Load() {
+					return
+				}
+				hidden := Mask(m)
+				cost := s.CostOf(hidden)
+				// Strictly worse than the global bound can never win; equal
+				// cost stays in play for the lexicographic tie-break.
+				if cost > bound.Load() {
+					pruned.Add(1)
+					continue
+				}
+				visible := all &^ hidden
+				safe := false
+				switch {
+				case unsafeFront.dominatesSuper(visible):
+					pruned.Add(1)
+					continue
+				case safeFront.dominatesSub(visible):
+					pruned.Add(1)
+					safe = true
+				default:
+					checked.Add(1)
+					ok, err := oracle(visible)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						failed.Store(true)
+						return
+					}
+					safe = ok
+					if ok {
+						safeFront.insertMaximal(visible)
+					} else {
+						unsafeFront.insertMinimal(visible)
+					}
+				}
+				if !safe {
+					continue
+				}
+				perm := s.perm(hidden)
+				if !best.found || cost < best.cost ||
+					(cost == best.cost && lexLess(perm, best.perm)) {
+					*best = incumbent{mask: hidden, perm: perm, cost: cost, found: true}
+					bound.StoreMin(cost)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return Result{}, err
+	}
+	res := Result{Stats: Stats{Checked: int(checked.Load()), Pruned: int(pruned.Load())}}
+	for _, b := range bests {
+		if !b.found {
+			continue
+		}
+		if !res.Found || b.cost < res.Cost ||
+			(b.cost == res.Cost && lexLess(b.perm, s.perm(res.Hidden))) {
+			res.Hidden = b.mask
+			res.Cost = b.cost
+			res.Found = true
+		}
+	}
+	return res, nil
+}
+
+// NaiveMinCost is the reference 2^k loop the engine replaces (the Lemma 4 /
+// Algorithm 2 brute force): numeric mask order, best-cost pruning only, no
+// monotonicity, no parallelism. It is kept for property tests, benchmarks
+// and the E20 experiment; its cost always matches MinCost's on a monotone
+// oracle.
+func (s *Space) NaiveMinCost(oracle Oracle) (Result, error) {
+	n := 1 << s.K()
+	all := s.All()
+	res := Result{Cost: math.Inf(1)}
+	for m := 0; m < n; m++ {
+		hidden := Mask(m)
+		cost := s.CostOf(hidden)
+		if cost >= res.Cost {
+			res.Stats.Pruned++
+			continue
+		}
+		res.Stats.Checked++
+		safe, err := oracle(all &^ hidden)
+		if err != nil {
+			return Result{}, err
+		}
+		if safe {
+			res.Hidden = hidden
+			res.Cost = cost
+			res.Found = true
+		}
+	}
+	if !res.Found {
+		res.Cost = 0
+	}
+	return res, nil
+}
+
+// lowerBest lowers the shared best index to idx if idx is smaller.
+func lowerBest(best *atomic.Int64, idx int64) {
+	for {
+		cur := best.Load()
+		if idx >= cur || best.CompareAndSwap(cur, idx) {
+			return
+		}
+	}
+}
+
+// atomicFloat is a float64 with atomic load/store-min, used for the shared
+// streaming best-cost bound.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// StoreMin lowers the value to v if v is smaller.
+func (f *atomicFloat) StoreMin(v float64) {
+	for {
+		cur := f.bits.Load()
+		if math.Float64frombits(cur) <= v || f.bits.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}

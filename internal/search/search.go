@@ -1,0 +1,307 @@
+// Package search is the shared subset-search engine behind the Secure-View
+// optimizations: a bitset-mask enumerator over an ordered attribute universe
+// with monotonicity pruning (Proposition 1 of Davidson et al., PODS 2011),
+// cost-ordered exploration, and a goroutine worker pool.
+//
+// The paper proves the standalone Secure-View problem needs 2^Ω(k) safety
+// tests in the worst case (Theorem 3), so the engine cannot beat exponential
+// asymptotics; what it does instead is (a) avoid allocating a name set per
+// candidate — subsets are machine words until a solution is materialized,
+// (b) exploit that safety is monotone in the hidden set — once a visible set
+// is proved safe or unsafe, every dominated mask is decided for free, and
+// (c) shard the remaining mask space over workers with shared best-cost
+// tracking, so multi-core hardware is actually used.
+//
+// Oracles passed to the engine MUST be monotone: if a visible set is safe,
+// every subset of it is safe (equivalently, supersets of safe hidden sets
+// are safe). This is Proposition 1 for standalone module privacy and holds
+// for workflow privacy as well; it does NOT hold for adversarial oracles
+// such as privacy.NewAdversaryOracle, which is why the Theorem 3 experiment
+// keeps its own assumption-free loop.
+package search
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"secureview/internal/relation"
+)
+
+// MaxAttrs is the largest universe the engine accepts (mask width).
+const MaxAttrs = 24
+
+// Mask is a subset of the universe: bit i is attribute i of the Space.
+type Mask uint32
+
+// Space fixes a search universe: an ordered attribute list with per-attribute
+// hiding costs. Bit i of every Mask refers to Attrs()[i].
+type Space struct {
+	attrs []string
+	costs []float64
+	// permBit[i] is the bit attribute i occupies after sorting attributes by
+	// name; permuted masks make the lexicographic tie-break O(1).
+	permBit []Mask
+}
+
+// NewSpace builds a Space over the attributes with costs from cost (nil means
+// all-zero costs). Attributes must be distinct and at most MaxAttrs many.
+func NewSpace(attrs []string, cost func(string) float64) (*Space, error) {
+	k := len(attrs)
+	if k > MaxAttrs {
+		return nil, fmt.Errorf("search: %d attributes exceed the %d-bit mask universe", k, MaxAttrs)
+	}
+	seen := make(map[string]struct{}, k)
+	for _, a := range attrs {
+		if _, dup := seen[a]; dup {
+			return nil, fmt.Errorf("search: duplicate attribute %q", a)
+		}
+		seen[a] = struct{}{}
+	}
+	s := &Space{
+		attrs:   append([]string(nil), attrs...),
+		costs:   make([]float64, k),
+		permBit: make([]Mask, k),
+	}
+	if cost != nil {
+		for i, a := range attrs {
+			s.costs[i] = cost(a)
+		}
+	}
+	// Rank attributes by name; attribute i gets bit rank(i) in permuted masks.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return s.attrs[order[x]] < s.attrs[order[y]] })
+	for rank, i := range order {
+		s.permBit[i] = 1 << rank
+	}
+	return s, nil
+}
+
+// K returns the universe size.
+func (s *Space) K() int { return len(s.attrs) }
+
+// Attrs returns the ordered attribute universe (do not mutate).
+func (s *Space) Attrs() []string { return s.attrs }
+
+// All returns the full-universe mask.
+func (s *Space) All() Mask { return Mask(1)<<len(s.attrs) - 1 }
+
+// CostOf returns the total cost of the masked attributes.
+func (s *Space) CostOf(m Mask) float64 {
+	total := 0.0
+	for x := m; x != 0; x &= x - 1 {
+		total += s.costs[bits.TrailingZeros32(uint32(x))]
+	}
+	return total
+}
+
+// NameSet materializes a mask as a relation.NameSet.
+func (s *Space) NameSet(m Mask) relation.NameSet {
+	out := make(relation.NameSet, bits.OnesCount32(uint32(m)))
+	for x := m; x != 0; x &= x - 1 {
+		out.Add(s.attrs[bits.TrailingZeros32(uint32(x))])
+	}
+	return out
+}
+
+// Names returns the masked attributes in universe order.
+func (s *Space) Names(m Mask) []string {
+	out := make([]string, 0, bits.OnesCount32(uint32(m)))
+	for x := m; x != 0; x &= x - 1 {
+		out = append(out, s.attrs[bits.TrailingZeros32(uint32(x))])
+	}
+	return out
+}
+
+// MaskOf returns the mask of the universe attributes present in set; names
+// outside the universe are ignored.
+func (s *Space) MaskOf(set relation.NameSet) Mask {
+	var m Mask
+	for i, a := range s.attrs {
+		if set.Has(a) {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// perm returns the mask with bits permuted into name-sorted order.
+func (s *Space) perm(m Mask) Mask {
+	var p Mask
+	for x := m; x != 0; x &= x - 1 {
+		p |= s.permBit[bits.TrailingZeros32(uint32(x))]
+	}
+	return p
+}
+
+// LexLess reports whether mask a denotes a lexicographically smaller set than
+// mask b, comparing the two sets as ascending name sequences (so {a2} < {a2,
+// a3} < {a3}). It is the deterministic tie-break among equal-cost optima.
+func (s *Space) LexLess(a, b Mask) bool {
+	return lexLess(s.perm(a), s.perm(b))
+}
+
+// lexLess compares two name-sorted (permuted) masks as ascending element
+// sequences. At the first rank where membership differs, the mask holding
+// that rank is smaller — unless the other mask has no higher rank at all, in
+// which case it is a proper prefix and wins.
+func lexLess(x, y Mask) bool {
+	if x == y {
+		return false
+	}
+	d := x ^ y
+	b := d & -d // lowest differing rank
+	atOrBelow := b<<1 - 1
+	if x&b != 0 {
+		// x owns the first differing rank; y wins only as a proper prefix.
+		return y&^atOrBelow != 0
+	}
+	return x&^atOrBelow == 0
+}
+
+// Oracle answers whether a VISIBLE mask is safe. Implementations must be
+// monotone (see the package comment) and safe for concurrent use.
+type Oracle func(visible Mask) (bool, error)
+
+// Memoize wraps an oracle with a concurrency-safe memo so repeated queries
+// for the same visible mask (e.g. across engine calls sharing one oracle)
+// are answered once. Errors are not memoized.
+func Memoize(oracle Oracle) Oracle {
+	var memo sync.Map
+	return func(v Mask) (bool, error) {
+		if r, ok := memo.Load(v); ok {
+			return r.(bool), nil
+		}
+		safe, err := oracle(v)
+		if err != nil {
+			return false, err
+		}
+		memo.Store(v, safe)
+		return safe, nil
+	}
+}
+
+// Options tunes an engine run.
+type Options struct {
+	// Parallelism is the worker-pool size. Zero or negative uses the package
+	// default: runtime.GOMAXPROCS(0), overridable via SetDefaultParallelism.
+	Parallelism int
+}
+
+var defaultParallelism atomic.Int64
+
+// SetDefaultParallelism overrides the worker count used when Options leaves
+// Parallelism unset; n <= 0 restores the GOMAXPROCS default.
+func SetDefaultParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultParallelism.Store(int64(n))
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	if n := defaultParallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats reports how a search run spent its effort. Checked + Pruned equals
+// the number of candidate masks in scope (2^k for the full-universe
+// searches).
+type Stats struct {
+	// Checked counts safety tests actually performed (oracle invocations
+	// requested by the engine; a memoized oracle may answer some from cache).
+	Checked int
+	// Pruned counts candidate masks eliminated WITHOUT a safety test: by the
+	// best-cost bound, by Proposition 1 domination, or by early exit once the
+	// optimum is pinned.
+	Pruned int
+}
+
+// frontier is a concurrency-safe antichain of masks used for Proposition 1
+// domination: the unsafe frontier stores minimal unsafe visible masks (any
+// superset is unsafe), the safe frontier stores maximal safe visible masks
+// (any subset is safe). Bounded so membership checks stay cheap.
+type frontier struct {
+	mu    sync.RWMutex
+	masks []Mask
+	cap   int
+}
+
+func newFrontier(capacity int) *frontier { return &frontier{cap: capacity} }
+
+// dominatesSuper reports whether some stored mask is a subset of v.
+func (f *frontier) dominatesSuper(v Mask) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, u := range f.masks {
+		if u&v == u {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatesSub reports whether v is a subset of some stored mask.
+func (f *frontier) dominatesSub(v Mask) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, u := range f.masks {
+		if v&u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// insertMinimal adds u keeping only inclusion-minimal masks.
+func (f *frontier) insertMinimal(u Mask) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range f.masks {
+		if e&u == e { // existing subset already covers u
+			return
+		}
+	}
+	kept := f.masks[:0]
+	for _, e := range f.masks {
+		if u&e != u { // drop supersets of u
+			kept = append(kept, e)
+		}
+	}
+	f.masks = kept
+	if len(f.masks) < f.cap {
+		f.masks = append(f.masks, u)
+	}
+}
+
+// insertMaximal adds u keeping only inclusion-maximal masks.
+func (f *frontier) insertMaximal(u Mask) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range f.masks {
+		if u&e == u { // existing superset already covers u
+			return
+		}
+	}
+	kept := f.masks[:0]
+	for _, e := range f.masks {
+		if e&u != e { // drop subsets of u
+			kept = append(kept, e)
+		}
+	}
+	f.masks = kept
+	if len(f.masks) < f.cap {
+		f.masks = append(f.masks, u)
+	}
+}

@@ -1,0 +1,483 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func testSpace(t *testing.T, attrs []string, costs map[string]float64) *Space {
+	t.Helper()
+	s, err := NewSpace(attrs, func(a string) float64 { return costs[a] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace([]string{"a", "a"}, nil); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	big := make([]string, MaxAttrs+1)
+	for i := range big {
+		big[i] = fmt.Sprintf("a%d", i)
+	}
+	if _, err := NewSpace(big, nil); err == nil {
+		t.Error("oversized universe accepted")
+	}
+	s, err := NewSpace(nil, nil)
+	if err != nil || s.K() != 0 || s.All() != 0 {
+		t.Errorf("empty universe: %v k=%d", err, s.K())
+	}
+}
+
+func TestMaskConversions(t *testing.T) {
+	s := testSpace(t, []string{"b", "a", "c"}, map[string]float64{"a": 1, "b": 2, "c": 4})
+	m := s.MaskOf(s.NameSet(0b101)) // {b, c}
+	if m != 0b101 {
+		t.Errorf("roundtrip = %b, want 101", m)
+	}
+	if got := s.CostOf(0b101); got != 6 {
+		t.Errorf("CostOf = %v, want 6", got)
+	}
+	if got := s.Names(0b110); got[0] != "a" || got[1] != "c" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+// TestLexLess pins the tie-break order: sets compare as ascending name
+// sequences, so {a2} < {a2,a3} < {a3}.
+func TestLexLess(t *testing.T) {
+	// Universe deliberately NOT in name order: bit0=a3, bit1=a2, bit2=a1.
+	s := testSpace(t, []string{"a3", "a2", "a1"}, nil)
+	set := func(names ...string) Mask {
+		var m Mask
+		for _, n := range names {
+			for i, a := range s.Attrs() {
+				if a == n {
+					m |= 1 << i
+				}
+			}
+		}
+		return m
+	}
+	cases := []struct {
+		a, b []string
+		less bool
+	}{
+		{[]string{"a2"}, []string{"a2", "a3"}, true}, // proper prefix wins
+		{[]string{"a2", "a3"}, []string{"a2"}, false},
+		{[]string{"a2", "a3"}, []string{"a3"}, true}, // first element decides
+		{[]string{"a3"}, []string{"a2", "a3"}, false},
+		{[]string{"a1"}, []string{"a2"}, true},
+		{[]string{}, []string{"a1"}, true}, // empty set first
+		{[]string{"a1"}, []string{"a1"}, false},
+		{[]string{"a1", "a3"}, []string{"a1", "a2"}, false},
+		{[]string{"a1", "a2"}, []string{"a1", "a3"}, true},
+	}
+	for _, c := range cases {
+		if got := s.LexLess(set(c.a...), set(c.b...)); got != c.less {
+			t.Errorf("LexLess(%v, %v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+// monotoneOracle builds a random monotone safety predicate: a visible set is
+// safe iff its total weight stays under a threshold (subsets of safe sets are
+// then safe, exactly Proposition 1's shape).
+func monotoneOracle(s *Space, rng *rand.Rand) Oracle {
+	weights := make([]float64, s.K())
+	total := 0.0
+	for i := range weights {
+		weights[i] = float64(rng.Intn(4))
+		total += weights[i]
+	}
+	threshold := rng.Float64() * total
+	return func(v Mask) (bool, error) {
+		sum := 0.0
+		for x := v; x != 0; x &= x - 1 {
+			sum += weights[bits.TrailingZeros32(uint32(x))]
+		}
+		return sum <= threshold, nil
+	}
+}
+
+func randomCosts(attrs []string, rng *rand.Rand) map[string]float64 {
+	costs := make(map[string]float64, len(attrs))
+	for _, a := range attrs {
+		costs[a] = float64(rng.Intn(3)) // integer costs with zeros force ties
+	}
+	return costs
+}
+
+// TestMinCostMatchesNaive is the engine's core property test: on random
+// monotone oracles the pruned parallel search finds the same optimal cost as
+// the naive 2^k loop, and its tie-break returns the lexicographically
+// smallest optimal hidden set.
+func TestMinCostMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		k := rng.Intn(10)
+		attrs := make([]string, k)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%02d", k-i) // reverse name order vs bits
+		}
+		s := testSpace(t, attrs, randomCosts(attrs, rng))
+		oracle := monotoneOracle(s, rng)
+		naive, err := s.NaiveMinCost(oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 4} {
+			got, err := s.MinCost(oracle, Options{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Found != naive.Found {
+				t.Fatalf("trial %d par %d: Found=%v, naive %v", trial, par, got.Found, naive.Found)
+			}
+			if !got.Found {
+				continue
+			}
+			if got.Cost != naive.Cost {
+				t.Fatalf("trial %d par %d: cost %v, naive %v", trial, par, got.Cost, naive.Cost)
+			}
+			// The winner must be the lex-smallest optimum, verified by scan.
+			want := Mask(0)
+			haveWant := false
+			for m := 0; m < 1<<k; m++ {
+				if s.CostOf(Mask(m)) != naive.Cost {
+					continue
+				}
+				safe, _ := oracle(s.All() &^ Mask(m))
+				if !safe {
+					continue
+				}
+				if !haveWant || s.LexLess(Mask(m), want) {
+					want = Mask(m)
+					haveWant = true
+				}
+			}
+			if !haveWant || got.Hidden != want {
+				t.Fatalf("trial %d par %d: hidden %s, want lex-min %s",
+					trial, par, s.NameSet(got.Hidden), s.NameSet(want))
+			}
+			if got.Stats.Checked+got.Stats.Pruned != 1<<k {
+				t.Fatalf("trial %d: Checked %d + Pruned %d != %d",
+					trial, got.Stats.Checked, got.Stats.Pruned, 1<<k)
+			}
+		}
+	}
+}
+
+// TestStreamingMatchesSortedAndNaive covers the streaming MinCost path
+// directly (MinCost only dispatches to it above sortedMax, which no
+// practical-size test reaches): on random monotone oracles it must agree
+// with the sorted path and the naive loop on found/cost AND on the
+// lexicographic tie-break, and keep the Checked+Pruned=2^k invariant.
+func TestStreamingMatchesSortedAndNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		k := rng.Intn(9)
+		attrs := make([]string, k)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%02d", k-i) // reverse name order vs bits
+		}
+		s := testSpace(t, attrs, randomCosts(attrs, rng))
+		oracle := monotoneOracle(s, rng)
+		naive, err := s.NaiveMinCost(oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted, err := s.minCostSorted(oracle, Options{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 4} {
+			stream, err := s.minCostStreaming(oracle, Options{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stream.Found != naive.Found {
+				t.Fatalf("trial %d par %d: streaming Found=%v, naive %v", trial, par, stream.Found, naive.Found)
+			}
+			if !stream.Found {
+				continue
+			}
+			if stream.Cost != naive.Cost {
+				t.Fatalf("trial %d par %d: streaming cost %v, naive %v", trial, par, stream.Cost, naive.Cost)
+			}
+			if stream.Hidden != sorted.Hidden {
+				t.Fatalf("trial %d par %d: streaming tie-break %s, sorted %s",
+					trial, par, s.NameSet(stream.Hidden), s.NameSet(sorted.Hidden))
+			}
+			if stream.Stats.Checked+stream.Stats.Pruned != 1<<k {
+				t.Fatalf("trial %d par %d: streaming Checked %d + Pruned %d != %d",
+					trial, par, stream.Stats.Checked, stream.Stats.Pruned, 1<<k)
+			}
+		}
+	}
+}
+
+// TestCheckedCountsOracleCalls pins the SearchResult.Checked contract: it
+// counts safety tests actually performed, nothing else.
+func TestCheckedCountsOracleCalls(t *testing.T) {
+	attrs := []string{"a", "b", "c", "d", "e", "f"}
+	s := testSpace(t, attrs, map[string]float64{"a": 1, "b": 1, "c": 1, "d": 2, "e": 2, "f": 3})
+	var calls atomic.Int64
+	oracle := func(v Mask) (bool, error) {
+		calls.Add(1)
+		return bits.OnesCount32(uint32(v)) <= 3, nil
+	}
+	res, err := s.MinCost(oracle, Options{Parallelism: 4})
+	if err != nil || !res.Found {
+		t.Fatal(err)
+	}
+	if int64(res.Stats.Checked) != calls.Load() {
+		t.Errorf("Checked = %d, oracle calls = %d", res.Stats.Checked, calls.Load())
+	}
+	if res.Stats.Checked+res.Stats.Pruned != 1<<len(attrs) {
+		t.Errorf("Checked+Pruned = %d, want %d", res.Stats.Checked+res.Stats.Pruned, 1<<len(attrs))
+	}
+	if res.Stats.Checked == 1<<len(attrs) {
+		t.Error("no pruning happened at all")
+	}
+
+	calls.Store(0)
+	naive, err := s.NaiveMinCost(oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(naive.Stats.Checked) != calls.Load() {
+		t.Errorf("naive Checked = %d, oracle calls = %d", naive.Stats.Checked, calls.Load())
+	}
+	if naive.Stats.Checked+naive.Stats.Pruned != 1<<len(attrs) {
+		t.Errorf("naive Checked+Pruned = %d, want %d", naive.Stats.Checked+naive.Stats.Pruned, 1<<len(attrs))
+	}
+}
+
+func TestMinCostNotFound(t *testing.T) {
+	s := testSpace(t, []string{"a", "b"}, nil)
+	res, err := s.MinCost(func(Mask) (bool, error) { return false, nil }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Cost != 0 {
+		t.Errorf("unsatisfiable search: Found=%v Cost=%v", res.Found, res.Cost)
+	}
+}
+
+func TestMinCostError(t *testing.T) {
+	s := testSpace(t, []string{"a", "b", "c"}, nil)
+	boom := errors.New("boom")
+	_, err := s.MinCost(func(Mask) (bool, error) { return false, boom }, Options{Parallelism: 2})
+	if !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	_, _, err = s.AllSafeVisible(func(Mask) (bool, error) { return false, boom }, Options{Parallelism: 2})
+	if !errors.Is(err, boom) {
+		t.Errorf("AllSafeVisible error not propagated: %v", err)
+	}
+	_, _, err = s.MinimalSafeHidden(func(Mask) (bool, error) { return false, boom }, Options{Parallelism: 2})
+	if !errors.Is(err, boom) {
+		t.Errorf("MinimalSafeHidden error not propagated: %v", err)
+	}
+}
+
+// TestAllSafeVisibleMatchesBrute compares the level sweep against the plain
+// 2^k loop on random monotone oracles.
+func TestAllSafeVisibleMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		k := rng.Intn(9)
+		attrs := make([]string, k)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+		s := testSpace(t, attrs, nil)
+		oracle := monotoneOracle(s, rng)
+		var want []Mask
+		for m := 0; m < 1<<k; m++ {
+			if safe, _ := oracle(Mask(m)); safe {
+				want = append(want, Mask(m))
+			}
+		}
+		var calls atomic.Int64
+		counted := func(v Mask) (bool, error) { calls.Add(1); return oracle(v) }
+		got, stats, err := s.AllSafeVisible(counted, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d safe sets, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got[%d]=%b want %b", trial, i, got[i], want[i])
+			}
+		}
+		if int64(stats.Checked) != calls.Load() || stats.Checked+stats.Pruned != 1<<k {
+			t.Fatalf("trial %d: stats %+v, calls %d", trial, stats, calls.Load())
+		}
+	}
+}
+
+// bruteMinimalSafeHidden is the seed repo's original algorithm, kept as the
+// reference for the level sweep.
+func bruteMinimalSafeHidden(s *Space, oracle Oracle) []Mask {
+	k := s.K()
+	var minimal []Mask
+	for size := 0; size <= k; size++ {
+		for m := 0; m < 1<<k; m++ {
+			if bits.OnesCount32(uint32(m)) != size {
+				continue
+			}
+			dominated := false
+			for _, mm := range minimal {
+				if mm&Mask(m) == mm {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			if safe, _ := oracle(s.All() &^ Mask(m)); safe {
+				minimal = append(minimal, Mask(m))
+			}
+		}
+	}
+	return minimal
+}
+
+func TestMinimalSafeHiddenMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		k := rng.Intn(9)
+		attrs := make([]string, k)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+		s := testSpace(t, attrs, nil)
+		oracle := monotoneOracle(s, rng)
+		want := bruteMinimalSafeHidden(s, oracle)
+		got, stats, err := s.MinimalSafeHidden(oracle, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d minimal sets, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got[%d]=%b want %b", trial, i, got[i], want[i])
+			}
+		}
+		if stats.Checked+stats.Pruned != 1<<k {
+			t.Fatalf("trial %d: stats %+v don't cover the lattice", trial, stats)
+		}
+	}
+}
+
+func TestMemoize(t *testing.T) {
+	var calls atomic.Int64
+	oracle := Memoize(func(v Mask) (bool, error) {
+		calls.Add(1)
+		return v == 0, nil
+	})
+	for i := 0; i < 3; i++ {
+		if safe, err := oracle(0); err != nil || !safe {
+			t.Fatal("memoized result wrong")
+		}
+		if safe, err := oracle(5); err != nil || safe {
+			t.Fatal("memoized result wrong")
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("inner oracle called %d times, want 2", calls.Load())
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	f := newFrontier(8)
+	f.insertMinimal(0b1100)
+	f.insertMinimal(0b0100) // subsumes 1100
+	f.insertMinimal(0b1100) // covered, ignored
+	if !f.dominatesSuper(0b0101) || f.dominatesSuper(0b0011) {
+		t.Error("minimal frontier domination wrong")
+	}
+	if len(f.masks) != 1 || f.masks[0] != 0b0100 {
+		t.Errorf("minimal frontier = %b", f.masks)
+	}
+	g := newFrontier(8)
+	g.insertMaximal(0b0100)
+	g.insertMaximal(0b1100) // subsumes 0100
+	g.insertMaximal(0b0100) // covered, ignored
+	if !g.dominatesSub(0b1000) || g.dominatesSub(0b0011) {
+		t.Error("maximal frontier domination wrong")
+	}
+	if len(g.masks) != 1 || g.masks[0] != 0b1100 {
+		t.Errorf("maximal frontier = %b", g.masks)
+	}
+}
+
+func TestSetDefaultParallelism(t *testing.T) {
+	defer SetDefaultParallelism(0)
+	SetDefaultParallelism(3)
+	if got := (Options{}).workers(); got != 3 {
+		t.Errorf("default workers = %d, want 3", got)
+	}
+	if got := (Options{Parallelism: 2}).workers(); got != 2 {
+		t.Errorf("explicit workers = %d, want 2", got)
+	}
+	SetDefaultParallelism(0)
+	if got := (Options{}).workers(); got < 1 {
+		t.Errorf("GOMAXPROCS default = %d", got)
+	}
+}
+
+// TestPrunedBeatsNaiveOnChecks demonstrates the engine's point: when safety
+// hinges on hiding output attributes (which sit on the high mask bits, as in
+// ModuleView.Attrs), the naive numeric scan burns safety tests on a huge
+// prefix of the space while cost-ordered exploration plus the Proposition 1
+// frontier gets there in a handful.
+func TestPrunedBeatsNaiveOnChecks(t *testing.T) {
+	k := 12
+	attrs := make([]string, k)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("a%02d", i)
+	}
+	costs := map[string]float64{}
+	for _, a := range attrs {
+		costs[a] = 1
+	}
+	s := testSpace(t, attrs, costs)
+	// Safe iff at least 2 of the LAST 4 attributes are hidden.
+	top := Mask(0b1111) << (k - 4)
+	oracle := func(v Mask) (bool, error) {
+		return bits.OnesCount32(uint32(v&top)) <= 2, nil
+	}
+	naive, err := s.NaiveMinCost(oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := s.MinCost(oracle, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Cost != naive.Cost || !pruned.Found {
+		t.Fatalf("cost mismatch: %v vs %v", pruned.Cost, naive.Cost)
+	}
+	if pruned.Stats.Checked*4 > naive.Stats.Checked {
+		t.Errorf("engine checked %d, naive %d — expected ≥4× fewer tests",
+			pruned.Stats.Checked, naive.Stats.Checked)
+	}
+	if math.IsInf(pruned.Cost, 1) {
+		t.Error("cost not materialized")
+	}
+}

@@ -10,50 +10,16 @@ import (
 )
 
 // DeriveSet builds a Secure-View instance (set-constraints variant) from a
-// concrete workflow and privacy target Γ, following the assembly theorems:
-// each private module's requirement list is its inclusion-minimal safe
-// hidden sets, computed standalone (Theorem 4 for all-private workflows,
-// Theorem 8 with privatization for general ones). Solving the returned
-// instance therefore yields a Γ-private view of the whole workflow.
+// concrete workflow and privacy target Γ (Γ ≥ 1), following the assembly
+// theorems: each private module's requirement list is its inclusion-minimal
+// safe hidden sets, computed standalone by the pruned search engine
+// (Theorem 4 for all-private workflows, Theorem 8 with privatization for
+// general ones). Solving the returned instance therefore yields a Γ-private
+// view of the whole workflow. It is Derive with default options.
 //
 // privatizeCosts assigns c(m) to public modules (missing names cost 0).
 func DeriveSet(w *workflow.Workflow, gamma uint64, costs privacy.Costs, privatizeCosts map[string]float64) (*Problem, error) {
-	p := &Problem{Costs: costs}
-	for _, m := range w.Modules() {
-		spec := ModuleSpec{
-			Name:    m.Name(),
-			Inputs:  m.InputNames(),
-			Outputs: m.OutputNames(),
-		}
-		if m.Visibility() == module.Public {
-			spec.Public = true
-			spec.PrivatizeCost = privatizeCosts[m.Name()]
-			p.Modules = append(p.Modules, spec)
-			continue
-		}
-		mv := privacy.NewModuleView(m)
-		minimal, err := mv.MinimalSafeHiddenSets(gamma)
-		if err != nil {
-			return nil, fmt.Errorf("secureview: module %s: %w", m.Name(), err)
-		}
-		if len(minimal) == 0 {
-			return nil, fmt.Errorf("secureview: module %s has no safe subset for Γ=%d", m.Name(), gamma)
-		}
-		in := relation.NewNameSet(spec.Inputs...)
-		for _, h := range minimal {
-			var req SetReq
-			for a := range h {
-				if in.Has(a) {
-					req.In = append(req.In, a)
-				} else {
-					req.Out = append(req.Out, a)
-				}
-			}
-			spec.SetList = append(spec.SetList, req)
-		}
-		p.Modules = append(p.Modules, spec)
-	}
-	return p, nil
+	return Derive(w, DeriveOptions{Gamma: gamma, Costs: costs, PrivatizeCosts: privatizeCosts})
 }
 
 // DeriveCard builds the cardinality requirement list for one module view:

@@ -7,6 +7,7 @@ import (
 	"secureview/internal/module"
 	"secureview/internal/privacy"
 	"secureview/internal/relation"
+	"secureview/internal/search"
 	"secureview/internal/workflow"
 )
 
@@ -39,6 +40,11 @@ type DeriveOptions struct {
 	// 3.2). Ignored when Recorded is set, since partial-log analyses are
 	// log-specific.
 	Cache *privacy.Cache
+	// Search tunes the per-module subset-search engine (worker-pool size for
+	// the 2^k mask sweep); the zero value uses GOMAXPROCS workers. It
+	// composes with Parallel: Parallel fans out across modules, Search fans
+	// out across each module's candidate subsets.
+	Search search.Options
 }
 
 func (o DeriveOptions) gammaFor(name string) uint64 {
@@ -98,9 +104,9 @@ func Derive(w *workflow.Workflow, opts DeriveOptions) (*Problem, error) {
 		}
 		var minimal []relation.NameSet
 		if opts.Cache != nil && opts.Recorded == nil {
-			minimal, err = opts.Cache.MinimalSafeHiddenSets(mv, gamma)
+			minimal, err = opts.Cache.MinimalSafeHiddenSetsOpts(mv, gamma, opts.Search)
 		} else {
-			minimal, err = mv.MinimalSafeHiddenSets(gamma)
+			minimal, err = mv.MinimalSafeHiddenSetsOpts(gamma, opts.Search)
 		}
 		if err != nil {
 			errs[i] = fmt.Errorf("secureview: module %s: %w", m.Name(), err)

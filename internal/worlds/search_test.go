@@ -1,0 +1,128 @@
+package worlds
+
+import (
+	"testing"
+
+	"secureview/internal/relation"
+	"secureview/internal/search"
+	"secureview/internal/workflow"
+)
+
+// bruteMinCostHiding solves the same problem by testing every candidate
+// subset directly against the enumerator.
+func bruteMinCostHiding(t *testing.T, hp HidingProblem) (relation.NameSet, float64, bool) {
+	t.Helper()
+	allNames := relation.NewNameSet(hp.W.Schema().Names()...)
+	var bestHidden relation.NameSet
+	bestCost := 0.0
+	found := false
+	for mask := 0; mask < 1<<len(hp.Candidates); mask++ {
+		hidden := make(relation.NameSet)
+		cost := 0.0
+		for i, a := range hp.Candidates {
+			if mask&(1<<i) != 0 {
+				hidden.Add(a)
+				cost += hp.Costs[a]
+			}
+		}
+		e := &Enumerator{W: hp.W, R: hp.R, Visible: allNames.Minus(hidden), Privatized: hp.Privatized}
+		ok := true
+		for _, target := range hp.Targets {
+			private, err := e.IsWorkflowPrivate(target, hp.Gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !private {
+				ok = false
+				break
+			}
+		}
+		if ok && (!found || cost < bestCost) {
+			bestHidden = hidden
+			bestCost = cost
+			found = true
+		}
+	}
+	return bestHidden, bestCost, found
+}
+
+func TestMinCostHidingMatchesBruteForce(t *testing.T) {
+	w := workflow.Fig1()
+	hp := HidingProblem{
+		W:          w,
+		R:          w.MustRelation(),
+		Candidates: []string{"a3", "a4", "a5"},
+		Costs:      map[string]float64{"a3": 1, "a4": 2, "a5": 1},
+		Targets:    []string{"m1"},
+		Gamma:      2,
+	}
+	wantHidden, wantCost, wantFound := bruteMinCostHiding(t, hp)
+	for _, par := range []int{1, 3} {
+		hidden, cost, found, stats, err := hp.MinCostHiding(search.Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != wantFound {
+			t.Fatalf("par %d: found=%v, brute force %v", par, found, wantFound)
+		}
+		if !found {
+			return
+		}
+		if cost != wantCost {
+			t.Fatalf("par %d: cost=%v, brute force %v", par, cost, wantCost)
+		}
+		if stats.Checked+stats.Pruned != 1<<len(hp.Candidates) {
+			t.Errorf("par %d: stats %+v don't cover the space", par, stats)
+		}
+		// The returned set must itself pass the enumerator check.
+		allNames := relation.NewNameSet(w.Schema().Names()...)
+		e := &Enumerator{W: w, R: hp.R, Visible: allNames.Minus(hidden)}
+		private, err := e.IsWorkflowPrivate("m1", hp.Gamma)
+		if err != nil || !private {
+			t.Fatalf("par %d: returned hidden set %v not workflow-private (err=%v)", par, hidden, err)
+		}
+		_ = wantHidden
+	}
+}
+
+// The engine must agree with itself across parallelism levels (deterministic
+// tie-break), and all-private targets default must cover every private
+// module.
+func TestMinCostHidingDeterminismAndDefaults(t *testing.T) {
+	w := workflow.Fig1()
+	hp := HidingProblem{
+		W:          w,
+		R:          w.MustRelation(),
+		Candidates: []string{"a3", "a4", "a5", "a6", "a7"},
+		Costs:      map[string]float64{"a3": 1, "a4": 1, "a5": 1, "a6": 1, "a7": 1},
+		Gamma:      2, // Targets empty: all of m1, m2, m3
+	}
+	h1, c1, f1, _, err := hp.MinCostHiding(search.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, c2, f2, _, err := hp.MinCostHiding(search.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 || c1 != c2 || !h1.Equal(h2) {
+		t.Fatalf("nondeterministic: (%v, %v, %v) vs (%v, %v, %v)", h1, c1, f1, h2, c2, f2)
+	}
+	if !f1 {
+		t.Fatal("Fig1 should have a feasible hiding")
+	}
+}
+
+func TestMinCostHidingValidation(t *testing.T) {
+	w := workflow.Fig1()
+	r := w.MustRelation()
+	if _, _, _, _, err := (HidingProblem{W: w, R: r, Candidates: []string{"a1"}, Gamma: 2}).MinCostHiding(search.Options{}); err == nil {
+		t.Error("initial-input candidate accepted")
+	}
+	if _, _, _, _, err := (HidingProblem{W: w, R: r, Candidates: []string{"a3"}}).MinCostHiding(search.Options{}); err == nil {
+		t.Error("Γ=0 accepted")
+	}
+	if _, _, _, _, err := (HidingProblem{Candidates: []string{"a3"}, Gamma: 2}).MinCostHiding(search.Options{}); err == nil {
+		t.Error("missing workflow accepted")
+	}
+}
