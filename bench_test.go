@@ -14,6 +14,7 @@ import (
 	"secureview/internal/combopt"
 	"secureview/internal/exp"
 	"secureview/internal/module"
+	"secureview/internal/oracle"
 	"secureview/internal/privacy"
 	"secureview/internal/reductions"
 	"secureview/internal/relation"
@@ -210,56 +211,35 @@ func BenchmarkE19Scaling(b *testing.B) { benchExperiment(b, "E19") }
 
 func BenchmarkE20EngineVsNaive(b *testing.B) { benchExperiment(b, "E20") }
 
+func BenchmarkE21CompiledOracle(b *testing.B) { benchExperiment(b, "E21") }
+
 // --- the internal/search engine vs the naive loop on large instances ---
 
-// searchBenchInstance builds a k-attribute module in the regime the engine
-// targets (the E20 shape): k/2 inputs, k/2 outputs, input hiding 4× more
-// expensive than output hiding (the paper's natural utility model), Γ
-// forcing the optimum to hide most outputs. The cheap optima then live on
-// the high (output) mask bits, where the naive loop's numeric scan burns an
-// enormous prefix of the space before its cost bound engages.
-func searchBenchInstance(k int) (privacy.ModuleView, privacy.Costs, uint64) {
-	rng := rand.New(rand.NewSource(int64(k)))
-	nIn := k / 2
-	in := make([]string, nIn)
-	for i := range in {
-		in[i] = fmt.Sprintf("x%d", i)
-	}
-	out := make([]string, k-nIn)
-	for i := range out {
-		out[i] = fmt.Sprintf("y%d", i)
-	}
-	m := module.Random("m", relation.Bools(in...), relation.Bools(out...), rng)
-	mv := privacy.NewModuleView(m)
-	costs := make(privacy.Costs, k)
-	for _, a := range in {
-		costs[a] = 4
-	}
-	for _, a := range out {
-		costs[a] = 1
-	}
-	gamma := uint64(1) << (k - nIn - 1)
-	return mv, costs, gamma
-}
-
 // BenchmarkStandaloneSearch compares the naive 2^k loop against the pruned
-// parallel engine on k=14..18 instances (the acceptance target: ≥4× at
-// k≥18 with identical optimal costs — verified by the property tests in
-// internal/search). Run with:
+// parallel engine — with the interpreted Lemma 4 oracle and with the
+// compiled integer-coded oracle of internal/oracle — on k=14..18 instances
+// (the exp.SearchBenchInstance shape). Identical optimal hidden sets and
+// costs across variants are asserted by BenchmarkCompiledOracle and the
+// property tests in internal/oracle. Run with:
 //
 //	go test -bench 'StandaloneSearch' -benchtime=1x
 func BenchmarkStandaloneSearch(b *testing.B) {
 	for _, k := range []int{14, 16, 18} {
-		mv, costs, gamma := searchBenchInstance(k)
+		mv, costs, gamma := exp.SearchBenchInstance(k)
 		sp, err := search.NewSpace(mv.Attrs(), costs.Of)
 		if err != nil {
 			b.Fatal(err)
 		}
-		oracle := func(v search.Mask) (bool, error) { return mv.IsSafe(sp.NameSet(v), gamma) }
+		interpreted := func(v search.Mask) (bool, error) { return mv.IsSafe(sp.NameSet(v), gamma) }
+		comp, err := mv.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		compiled := func(v search.Mask) (bool, error) { return comp.IsSafe(oracle.Mask(v), gamma), nil }
 		b.Run(fmt.Sprintf("naive/k=%d", k), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := sp.NaiveMinCost(oracle)
+				res, err := sp.NaiveMinCost(interpreted)
 				if err != nil || !res.Found {
 					b.Fatalf("err=%v found=%v", err, res.Found)
 				}
@@ -268,9 +248,65 @@ func BenchmarkStandaloneSearch(b *testing.B) {
 		b.Run(fmt.Sprintf("engine/k=%d", k), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := sp.MinCost(oracle, search.Options{})
+				res, err := sp.MinCost(interpreted, search.Options{})
 				if err != nil || !res.Found {
 					b.Fatalf("err=%v found=%v", err, res.Found)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("compiled/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sp.MinCost(compiled, search.Options{})
+				if err != nil || !res.Found {
+					b.Fatalf("err=%v found=%v", err, res.Found)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompiledOracle is the acceptance benchmark of ISSUE 2: the pruned
+// parallel engine driven by the interpreted Lemma 4 oracle vs the same
+// engine sharing one compiled integer-coded oracle across its worker pool,
+// on oracle-bound searches at k=14–18. The two paths must find byte-
+// identical optimal hidden sets and costs (asserted every iteration).
+func BenchmarkCompiledOracle(b *testing.B) {
+	for _, k := range []int{14, 16, 18} {
+		mv, costs, gamma := exp.SearchBenchInstance(k)
+		sp, err := search.NewSpace(mv.Attrs(), costs.Of)
+		if err != nil {
+			b.Fatal(err)
+		}
+		interpreted := func(v search.Mask) (bool, error) { return mv.IsSafe(sp.NameSet(v), gamma) }
+		comp, err := mv.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		compiled := func(v search.Mask) (bool, error) { return comp.IsSafe(oracle.Mask(v), gamma), nil }
+		want, err := sp.MinCost(interpreted, search.Options{})
+		if err != nil || !want.Found {
+			b.Fatalf("err=%v found=%v", err, want.Found)
+		}
+		b.Run(fmt.Sprintf("interpreted/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sp.MinCost(interpreted, search.Options{})
+				if err != nil || !res.Found {
+					b.Fatalf("err=%v found=%v", err, res.Found)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("compiled/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sp.MinCost(compiled, search.Options{})
+				if err != nil || !res.Found {
+					b.Fatalf("err=%v found=%v", err, res.Found)
+				}
+				if res.Hidden != want.Hidden || res.Cost != want.Cost {
+					b.Fatalf("compiled optimum (hidden=%b cost=%g) != interpreted (hidden=%b cost=%g)",
+						res.Hidden, res.Cost, want.Hidden, want.Cost)
 				}
 			}
 		})

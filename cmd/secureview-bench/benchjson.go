@@ -1,0 +1,127 @@
+package main
+
+// The -benchjson mode bootstraps the perf trajectory: it times the
+// standalone Secure-View search on the standard oracle-bound instances
+// (exp.SearchBenchInstance) across three variants — the naive 2^k loop, the
+// pruned parallel engine with the interpreted Lemma 4 oracle, and the same
+// engine with the compiled integer-coded oracle — and writes the numbers as
+// JSON so future changes can be compared against a committed baseline
+// instead of eyeballed log output. Optimal costs and hidden sets must agree
+// across variants; a mismatch fails the run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"secureview/internal/exp"
+	"secureview/internal/oracle"
+	"secureview/internal/search"
+)
+
+// benchResult is one (variant, k) measurement.
+type benchResult struct {
+	Name    string   `json:"name"` // standalone-search/<variant>
+	K       int      `json:"k"`
+	Gamma   uint64   `json:"gamma"`
+	NsPerOp int64    `json:"ns_per_op"` // best of reps
+	Checked int      `json:"checked"`
+	Pruned  int      `json:"pruned"`
+	Cost    float64  `json:"cost"`
+	Hidden  []string `json:"hidden"`
+}
+
+// timeBest runs fn reps times and returns the fastest wall-clock run.
+func timeBest(reps int, fn func() (search.Result, error)) (search.Result, time.Duration, error) {
+	var best time.Duration = 1 << 62
+	var res search.Result
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		r, err := fn()
+		d := time.Since(start)
+		if err != nil {
+			return search.Result{}, 0, err
+		}
+		if d < best {
+			best = d
+			res = r
+		}
+	}
+	return res, best, nil
+}
+
+func writeBenchJSON(path string, quick bool) error {
+	ks := []int{14, 16, 18}
+	reps := 3
+	if quick {
+		ks = []int{12, 14}
+		reps = 1
+	}
+	var results []benchResult
+	for _, k := range ks {
+		mv, costs, gamma := exp.SearchBenchInstance(k)
+		sp, err := search.NewSpace(mv.Attrs(), costs.Of)
+		if err != nil {
+			return err
+		}
+		interpreted := func(v search.Mask) (bool, error) { return mv.IsSafe(sp.NameSet(v), gamma) }
+		comp, err := mv.Compile()
+		if err != nil {
+			return err
+		}
+		compiled := func(v search.Mask) (bool, error) { return comp.IsSafe(oracle.Mask(v), gamma), nil }
+
+		variants := []struct {
+			name string
+			run  func() (search.Result, error)
+		}{
+			{"naive", func() (search.Result, error) { return sp.NaiveMinCost(interpreted) }},
+			{"engine-interpreted", func() (search.Result, error) { return sp.MinCost(interpreted, search.Options{}) }},
+			{"engine-compiled", func() (search.Result, error) { return sp.MinCost(compiled, search.Options{}) }},
+		}
+		var reference search.Result
+		for vi, v := range variants {
+			res, best, err := timeBest(reps, v.run)
+			if err != nil {
+				return fmt.Errorf("%s k=%d: %w", v.name, k, err)
+			}
+			if !res.Found {
+				return fmt.Errorf("%s k=%d: no safe subset found", v.name, k)
+			}
+			switch vi {
+			case 0:
+				// The naive loop breaks equal-cost ties by numeric mask order,
+				// not the engine's lexicographic rule, so only its optimal
+				// COST anchors the comparison.
+				reference = res
+			case 1:
+				if res.Cost != reference.Cost {
+					return fmt.Errorf("%s k=%d: optimal cost %g diverges from naive %g",
+						v.name, k, res.Cost, reference.Cost)
+				}
+				reference = res // engine runs must agree exactly from here on
+			default:
+				if res.Cost != reference.Cost || res.Hidden != reference.Hidden {
+					return fmt.Errorf("%s k=%d: optimum (hidden=%b cost=%g) diverges from engine-interpreted (hidden=%b cost=%g)",
+						v.name, k, res.Hidden, res.Cost, reference.Hidden, reference.Cost)
+				}
+			}
+			results = append(results, benchResult{
+				Name:    "standalone-search/" + v.name,
+				K:       k,
+				Gamma:   gamma,
+				NsPerOp: best.Nanoseconds(),
+				Checked: res.Stats.Checked,
+				Pruned:  res.Stats.Pruned,
+				Cost:    res.Cost,
+				Hidden:  sp.NameSet(res.Hidden).Sorted(),
+			})
+		}
+	}
+	raw, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

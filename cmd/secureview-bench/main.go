@@ -1,4 +1,4 @@
-// Command secureview-bench runs the reproduction experiments E1–E20 (see
+// Command secureview-bench runs the reproduction experiments E1–E21 (see
 // DESIGN.md section 4 and EXPERIMENTS.md) and prints their result tables.
 //
 // Usage:
@@ -7,6 +7,7 @@
 //	secureview-bench -quick     # trimmed sweeps (seconds, used in CI)
 //	secureview-bench -exp E8    # a single experiment
 //	secureview-bench -exp E20 -parallel 8
+//	secureview-bench -benchjson BENCH_results.json   # machine-readable perf trajectory
 package main
 
 import (
@@ -20,12 +21,22 @@ import (
 
 func main() {
 	var (
-		id       = flag.String("exp", "", "run a single experiment (E1..E20)")
-		quick    = flag.Bool("quick", false, "trim parameter sweeps")
-		parallel = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
+		id        = flag.String("exp", "", "run a single experiment (E1..E21)")
+		quick     = flag.Bool("quick", false, "trim parameter sweeps")
+		parallel  = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
+		benchjson = flag.String("benchjson", "", "write machine-readable benchmark results to this JSON file and exit")
 	)
 	flag.Parse()
 	search.SetDefaultParallelism(*parallel)
+
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "secureview-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchjson)
+		return
+	}
 
 	experiments := exp.Registry()
 	if *id != "" {

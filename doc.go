@@ -12,16 +12,21 @@
 //	internal/workflow    DAG wiring, execution, provenance relations
 //	internal/provenance  execution store and privacy-preserving views
 //	internal/privacy     Γ-standalone-privacy (section 3, appendix A)
+//	internal/oracle      compiled integer-coded safety oracle: relations
+//	                     lowered once to uint64 row codes, each Lemma 4 test
+//	                     a few array/bitset ops — compile once per search,
+//	                     share the read-only result across the worker pool
 //	internal/search      bitset subset-search engine: Proposition 1 pruning,
 //	                     cost-ordered exploration, worker pool, memoized oracles
-//	internal/worlds      possible-world semantics, FLIP, enumeration
+//	internal/worlds      possible-world semantics, FLIP, sharded parallel
+//	                     enumeration with bitset OUT sets
 //	internal/secureview  the Secure-View optimization (sections 4–5)
 //	internal/lp          two-phase simplex (substrate)
 //	internal/sat         CNF + DPLL (substrate for Theorem 2)
 //	internal/combopt     set/vertex/label cover (reduction sources)
 //	internal/reductions  the hardness constructions as generators
 //	internal/workload    random workflow/instance generators
-//	internal/exp         experiment registry E1–E15
+//	internal/exp         experiment registry E1–E21
 //
 // Entry points: cmd/secureview (solve instances), cmd/secureview-bench
 // (reproduce the experiment tables), cmd/worlds (world counting), and the

@@ -1,0 +1,249 @@
+package oracle_test
+
+// Property tests: the compiled integer-coded oracle must agree with the
+// interpreted Lemma 4 implementation in internal/privacy on every query —
+// MinOutSize, IsSafe, OutSize and OutSet — over random modules, random
+// domains and random visibility masks. A separate test shares one compiled
+// oracle across the parallel search engine's workers (run with -race in CI).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"secureview/internal/module"
+	"secureview/internal/oracle"
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+	"secureview/internal/search"
+)
+
+// randomModuleView builds a random module with 1–3 inputs and 1–3 outputs
+// over mixed domains (2–4 values per attribute).
+func randomModuleView(rng *rand.Rand) privacy.ModuleView {
+	nIn := 1 + rng.Intn(3)
+	nOut := 1 + rng.Intn(3)
+	in := make([]relation.Attribute, nIn)
+	for i := range in {
+		in[i] = relation.Attribute{Name: fmt.Sprintf("x%d", i), Domain: 2 + rng.Intn(3)}
+	}
+	out := make([]relation.Attribute, nOut)
+	for i := range out {
+		out[i] = relation.Attribute{Name: fmt.Sprintf("y%d", i), Domain: 2 + rng.Intn(3)}
+	}
+	return privacy.NewModuleView(module.Random("m", in, out, rng))
+}
+
+func randomMask(rng *rand.Rand, k int) oracle.Mask {
+	return oracle.Mask(rng.Intn(1 << k))
+}
+
+// maskNameSet converts an oracle mask into the interpreted path's NameSet.
+func maskNameSet(attrs []string, m oracle.Mask) relation.NameSet {
+	set := relation.NewNameSet()
+	for i, a := range attrs {
+		if m&(1<<i) != 0 {
+			set.Add(a)
+		}
+	}
+	return set
+}
+
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		mv := randomModuleView(rng)
+		c, err := mv.Compile()
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		k := c.K()
+		inputs := mv.Rel.MustProject(mv.Inputs...)
+		for q := 0; q < 12; q++ {
+			mask := randomMask(rng, k)
+			visible := maskNameSet(c.Attrs(), mask)
+
+			wantMin, err := mv.MinOutSize(visible)
+			if err != nil {
+				t.Fatalf("trial %d: interpreted MinOutSize: %v", trial, err)
+			}
+			if got := c.MinOutSize(mask); got != wantMin {
+				t.Fatalf("trial %d mask %b: MinOutSize = %d, interpreted %d", trial, mask, got, wantMin)
+			}
+			for _, gamma := range []uint64{1, 2, wantMin, wantMin + 1} {
+				wantSafe, err := mv.IsSafe(visible, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := c.IsSafe(mask, gamma); got != wantSafe {
+					t.Fatalf("trial %d mask %b Γ=%d: IsSafe = %v, interpreted %v", trial, mask, gamma, got, wantSafe)
+				}
+			}
+
+			view := c.View(mask)
+			if view.MinOutSize() != wantMin {
+				t.Fatalf("trial %d mask %b: View.MinOutSize = %d, want %d", trial, mask, view.MinOutSize(), wantMin)
+			}
+			for _, x := range inputs.Rows() {
+				wantSize, err := mv.OutSize(visible, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotSize, err := view.OutSize(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotSize != wantSize {
+					t.Fatalf("trial %d mask %b x=%v: OutSize = %d, interpreted %d", trial, mask, x, gotSize, wantSize)
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledOutSetMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		mv := randomModuleView(rng)
+		c, err := mv.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := randomMask(rng, c.K())
+		visible := maskNameSet(c.Attrs(), mask)
+		view := c.View(mask)
+		for _, x := range mv.Rel.MustProject(mv.Inputs...).Rows() {
+			want, err := mv.OutSet(visible, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := view.OutSetTuples(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d mask %b x=%v: |OutSet| = %d, interpreted %d", trial, mask, x, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("trial %d mask %b x=%v: OutSet[%d] = %v, interpreted %v", trial, mask, x, i, got[i], want[i])
+				}
+			}
+			bs, err := view.OutSet(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bs.Count() != uint64(len(want)) {
+				t.Fatalf("bitset count %d != %d", bs.Count(), len(want))
+			}
+		}
+	}
+}
+
+func TestCompiledErrors(t *testing.T) {
+	mv := randomModuleView(rand.New(rand.NewSource(3)))
+	c, err := mv.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := c.View(c.All())
+	if _, err := view.OutSize(relation.Tuple{}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	bad := make(relation.Tuple, len(mv.Inputs))
+	bad[0] = 99
+	if _, err := view.OutSize(bad); err == nil {
+		t.Error("out-of-domain input accepted")
+	}
+	if _, err := oracle.Compile(mv.Rel, []string{"nope"}, mv.Outputs); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := oracle.Compile(nil, nil, nil); err == nil {
+		t.Error("nil relation accepted")
+	}
+}
+
+func TestCompiledEmptyRelation(t *testing.T) {
+	s := relation.MustSchema(relation.Bool("x"), relation.Bool("y"))
+	c, err := oracle.Compile(relation.New(s), []string{"x"}, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MinOutSize(c.All()); got != 0 {
+		t.Errorf("empty relation MinOutSize = %d, want 0", got)
+	}
+	if c.IsSafe(c.All(), 1) {
+		t.Error("empty relation safe for Γ=1")
+	}
+}
+
+// TestCompiledSharedAcrossEngineWorkers runs the parallel subset-search
+// engine with one compiled oracle shared by every worker and checks the
+// result matches a fresh interpreted search. Run with -race to exercise the
+// concurrency claim.
+func TestCompiledSharedAcrossEngineWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := module.Random("m",
+		relation.Bools("x0", "x1", "x2", "x3"),
+		relation.Bools("y0", "y1", "y2", "y3"), rng)
+	mv := privacy.NewModuleView(m)
+	costs := privacy.Uniform(mv.Attrs()...)
+	sp, err := search.NewSpace(mv.Attrs(), costs.Of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := mv.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gamma = 4
+	compiled, err := sp.MinCost(func(v search.Mask) (bool, error) {
+		return c.IsSafe(oracle.Mask(v), gamma), nil
+	}, search.Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interpreted, err := sp.MinCost(func(v search.Mask) (bool, error) {
+		return mv.IsSafe(sp.NameSet(v), gamma)
+	}, search.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Found != interpreted.Found || compiled.Hidden != interpreted.Hidden || compiled.Cost != interpreted.Cost {
+		t.Fatalf("compiled search (found=%v hidden=%b cost=%g) != interpreted (found=%v hidden=%b cost=%g)",
+			compiled.Found, compiled.Hidden, compiled.Cost,
+			interpreted.Found, interpreted.Hidden, interpreted.Cost)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := oracle.NewBitset(130)
+	for _, i := range []uint64{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	if b.Count() != 4 {
+		t.Fatalf("count = %d, want 4", b.Count())
+	}
+	if !b.Has(64) || b.Has(65) {
+		t.Error("membership wrong")
+	}
+	var got []uint64
+	b.Each(func(code uint64) { got = append(got, code) })
+	want := []uint64{0, 63, 64, 129}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v", got, want)
+		}
+	}
+	o := oracle.NewBitset(130)
+	o.Set(1)
+	b.Or(o)
+	if b.Count() != 5 {
+		t.Error("Or failed")
+	}
+	full := oracle.NewBitset(70)
+	full.SetAll(70)
+	if full.Count() != 70 {
+		t.Fatalf("SetAll count = %d, want 70", full.Count())
+	}
+}

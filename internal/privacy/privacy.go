@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"secureview/internal/module"
+	"secureview/internal/oracle"
 	"secureview/internal/relation"
 )
 
@@ -38,6 +39,17 @@ type ModuleView struct {
 // the ModuleView literal with RelationOver.
 func NewModuleView(m *module.Module) ModuleView {
 	return ModuleView{Rel: m.Relation(), Inputs: m.InputNames(), Outputs: m.OutputNames()}
+}
+
+// Compile lowers the module view into the integer-coded oracle of
+// internal/oracle: rows become uint64 input/output codes, and each safety
+// test becomes a sort-and-scan over packed keys with zero steady-state
+// allocation. The compiled oracle is immutable and safe to share across the
+// search engine's worker pool. Compilation fails (and callers fall back to
+// the interpreted path) when the domain products overflow uint64 or the
+// module has more than oracle.MaxAttrs attributes.
+func (mv ModuleView) Compile() (*oracle.Compiled, error) {
+	return oracle.Compile(mv.Rel, mv.Inputs, mv.Outputs)
 }
 
 // HiddenOutputVolume returns ∏_{a ∈ O\V} |∆a|, the number of ways to extend
@@ -81,7 +93,7 @@ func (mv ModuleView) MinOutSize(visible relation.NameSet) (uint64, error) {
 	}
 	min := uint64(math.MaxUint64)
 	for _, g := range groups {
-		distinct := countDistinctOn(g, outCols)
+		distinct := countDistinctOn(mv.Rel.Schema(), g, outCols)
 		size := satMul(uint64(distinct), vol)
 		if size < min {
 			min = size
@@ -136,7 +148,7 @@ func (mv ModuleView) OutSize(visible relation.NameSet, x relation.Tuple) (uint64
 		}
 		return true
 	})
-	distinct := countDistinctOn(group.Rows(), visOutCols)
+	distinct := countDistinctOn(mv.Rel.Schema(), group.Rows(), visOutCols)
 	vol, ok := mv.HiddenOutputVolume(visible)
 	if !ok {
 		vol = math.MaxUint64
@@ -238,13 +250,35 @@ func (mv ModuleView) IsSafe(visible relation.NameSet, gamma uint64) (bool, error
 	return min >= gamma, nil
 }
 
-func countDistinctOn(rows []relation.Tuple, cols []int) int {
+// countDistinctOn counts distinct projections of rows onto cols using packed
+// uint64 mixed-radix codes as dedup keys (relation.EncodeCols) instead of
+// concatenated strings; when the columns' domain product overflows uint64 it
+// falls back to a string encoding.
+func countDistinctOn(s *relation.Schema, rows []relation.Tuple, cols []int) int {
 	if len(cols) == 0 {
 		if len(rows) == 0 {
 			return 0
 		}
 		return 1
 	}
+	prod := uint64(1)
+	for _, c := range cols {
+		d := uint64(s.Attr(c).Domain)
+		if d != 0 && prod > math.MaxUint64/d {
+			return countDistinctOnStrings(rows, cols)
+		}
+		prod *= d
+	}
+	seen := make(map[uint64]struct{}, len(rows))
+	for _, row := range rows {
+		seen[relation.EncodeCols(s, row, cols)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// countDistinctOnStrings is the pre-compiled-oracle fallback for domain
+// products beyond uint64.
+func countDistinctOnStrings(rows []relation.Tuple, cols []int) int {
 	seen := make(map[string]struct{}, len(rows))
 	for _, row := range rows {
 		k := ""

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"secureview/internal/oracle"
 	"secureview/internal/relation"
 	"secureview/internal/search"
 )
@@ -61,9 +62,20 @@ func (mv ModuleView) searchSpace(costs Costs) (*search.Space, error) {
 	return search.NewSpace(mv.Attrs(), costs.Of)
 }
 
-// maskOracle adapts the Lemma 4 safety test to the engine: the name set is
-// materialized per tested mask only, never for pruned candidates.
+// maskOracle adapts the Lemma 4 safety test to the engine. The compiled
+// integer-coded oracle is preferred: it is built once per search, shared
+// read-only across the engine's worker pool, and answers each mask with a
+// sort-and-scan over packed row codes — no name sets, no relation scans, no
+// per-call allocation. The search space is built over mv.Attrs() (inputs
+// then outputs), the exact bit order the compiled oracle uses, so engine
+// masks pass through by integer conversion. Modules whose domain products
+// overflow uint64 fall back to the interpreted Lemma 4 test.
 func (mv ModuleView) maskOracle(sp *search.Space, gamma uint64) search.Oracle {
+	if c, err := mv.Compile(); err == nil {
+		return func(visible search.Mask) (bool, error) {
+			return c.IsSafe(oracle.Mask(visible), gamma), nil
+		}
+	}
 	return func(visible search.Mask) (bool, error) {
 		return mv.IsSafe(sp.NameSet(visible), gamma)
 	}
@@ -179,13 +191,30 @@ type relationOracle struct {
 	gamma uint64
 }
 
-// OracleFor returns a Safe-View oracle backed by the module view.
+// OracleFor returns a Safe-View oracle backed by the module view. The view
+// is compiled to the integer-coded oracle when possible (one compilation,
+// answering every later query with integer lookups); views whose domain
+// products overflow uint64 get the interpreted oracle instead. Both are safe
+// for concurrent use under the parallel engine.
 func OracleFor(mv ModuleView, gamma uint64) SafeViewOracle {
+	if c, err := mv.Compile(); err == nil {
+		return compiledOracle{c: c, gamma: gamma}
+	}
 	return relationOracle{mv: mv, gamma: gamma}
 }
 
 func (o relationOracle) IsSafe(visible relation.NameSet) (bool, error) {
 	return o.mv.IsSafe(visible, o.gamma)
+}
+
+// compiledOracle answers Safe-View queries from a compiled module view.
+type compiledOracle struct {
+	c     *oracle.Compiled
+	gamma uint64
+}
+
+func (o compiledOracle) IsSafe(visible relation.NameSet) (bool, error) {
+	return o.c.IsSafe(o.c.MaskOf(visible), o.gamma), nil
 }
 
 // EngineMinCostWithOracle runs the pruned parallel engine against an

@@ -56,6 +56,66 @@ func Encode(s *Schema, t Tuple) uint64 {
 	return code
 }
 
+// EncodeCols packs the values of t at the given schema columns into a
+// mixed-radix integer: the radix of position j is the domain of column
+// cols[j], and earlier columns are more significant (matching Encode, which
+// is EncodeCols over all columns in order). Codes produced with the same
+// column list are equal iff the projections are equal, which makes them
+// cheap dedup and grouping keys; the compiled privacy oracle is built on
+// them. The caller must ensure the domain product of cols fits in uint64.
+func EncodeCols(s *Schema, t Tuple, cols []int) uint64 {
+	var code uint64
+	for _, c := range cols {
+		code = code*uint64(s.attrs[c].Domain) + uint64(t[c])
+	}
+	return code
+}
+
+// CodeProjection projects full-schema codes (as produced by Encode) onto a
+// fixed column subset without materializing tuples: Project(Encode(s, t)) ==
+// EncodeCols(s, t, cols). Build once, apply to many codes — each application
+// is one multiply-add chain over the selected columns.
+type CodeProjection struct {
+	strides []uint64 // suffix domain product after each selected column
+	doms    []uint64 // domain of each selected column
+}
+
+// NewCodeProjection prepares the projection of s-codes onto cols. It returns
+// an error if any column index is out of range or the schema's full domain
+// product overflows uint64 (codes would not be well defined).
+func NewCodeProjection(s *Schema, cols []int) (*CodeProjection, error) {
+	if _, ok := s.DomainProduct(s.Names()); !ok {
+		return nil, fmt.Errorf("relation: domain product of %v overflows uint64", s)
+	}
+	n := s.Len()
+	suffix := make([]uint64, n+1)
+	suffix[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] * uint64(s.attrs[i].Domain)
+	}
+	p := &CodeProjection{
+		strides: make([]uint64, len(cols)),
+		doms:    make([]uint64, len(cols)),
+	}
+	for j, c := range cols {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("relation: column %d out of range [0,%d)", c, n)
+		}
+		p.strides[j] = suffix[c+1]
+		p.doms[j] = uint64(s.attrs[c].Domain)
+	}
+	return p, nil
+}
+
+// Project maps a full-schema code to the code of its projection.
+func (p *CodeProjection) Project(code uint64) uint64 {
+	var out uint64
+	for j, stride := range p.strides {
+		out = out*p.doms[j] + (code/stride)%p.doms[j]
+	}
+	return out
+}
+
 // Decode unpacks a mixed-radix integer produced by Encode into a tuple.
 func Decode(s *Schema, code uint64) Tuple {
 	n := s.Len()

@@ -3,7 +3,6 @@ package search
 import (
 	"math"
 	"math/bits"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -25,9 +24,10 @@ type Result struct {
 // frontier masks are dropped (pruning weakens, correctness is unaffected).
 const frontierCap = 256
 
-// sortedMax is the largest universe for which MinCost materializes and sorts
-// the full candidate list (16 bytes per mask; 64 MiB at k=22). Above it a
-// streaming scan with the same pruning is used.
+// sortedMax is the largest universe for which MinCost materializes the full
+// candidate list in (cost, lex) order (~36 bytes per mask across the rank
+// scatter and radix buffers; ~150 MiB at k=22). Above it a streaming scan
+// with the same pruning is used.
 const sortedMax = 22
 
 // MinCost finds the minimum-cost hidden mask whose complementary visible set
@@ -45,33 +45,84 @@ func (s *Space) MinCost(oracle Oracle, opts Options) (Result, error) {
 	return s.minCostStreaming(oracle, opts)
 }
 
-type candidate struct {
-	mask Mask // hidden set
-	perm Mask // name-sorted permutation of mask, for O(1) lex compare
-	cost float64
+// orderedCostBits maps a float64 to a uint64 whose unsigned order matches
+// the float order (the standard sign-flip transform), so costs radix-sort.
+func orderedCostBits(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
 }
 
-// minCostSorted materializes all candidates, sorts them by (cost, lex), and
-// strides workers over the sorted list. The answer is the lowest-index safe
-// candidate; workers past the current best index stop wholesale.
-func (s *Space) minCostSorted(oracle Oracle, opts Options) (Result, error) {
+// sortCandidates produces every hidden mask in ascending (cost, lexLess)
+// order without a comparison sort: lexRank is a bijection onto [0, 2^k), so
+// scattering masks to their rank position realizes the lex order for free,
+// and a stable LSD radix sort on the order-transformed cost bits (skipping
+// the 16-bit chunks that never vary) lifts it to the full order. costs[i]
+// returns the cost of sorted candidate i.
+func (s *Space) sortCandidates() (masks []Mask, cost func(int) float64) {
 	n := 1 << s.K()
-	cands := make([]candidate, n)
+	perms := make([]Mask, n)
+	sums := make([]float64, n)
+	keys := make([]uint64, n)
+	masks = make([]Mask, n)
 	for m := 1; m < n; m++ {
 		low := m & (m - 1)
 		i := bits.TrailingZeros32(uint32(m))
-		cands[m] = candidate{
-			mask: Mask(m),
-			perm: cands[low].perm | s.permBit[i],
-			cost: cands[low].cost + s.costs[i],
-		}
+		perms[m] = perms[low] | s.permBit[i]
+		sums[m] = sums[low] + s.costs[i]
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].cost != cands[b].cost {
-			return cands[a].cost < cands[b].cost
+	for m := 0; m < n; m++ {
+		r := lexRank(perms[m], s.K())
+		keys[r] = orderedCostBits(sums[m])
+		masks[r] = Mask(m)
+	}
+	// Which 16-bit chunks of the cost keys actually differ?
+	orAll, andAll := uint64(0), ^uint64(0)
+	for _, k := range keys {
+		orAll |= k
+		andAll &= k
+	}
+	varying := orAll ^ andAll
+	keys2 := make([]uint64, n)
+	masks2 := make([]Mask, n)
+	var cnt [1 << 16]int32
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(pass * 16)
+		if varying>>shift&0xffff == 0 {
+			continue
 		}
-		return lexLess(cands[a].perm, cands[b].perm)
-	})
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, k := range keys {
+			cnt[k>>shift&0xffff]++
+		}
+		sum := int32(0)
+		for d := range cnt {
+			c := cnt[d]
+			cnt[d] = sum
+			sum += c
+		}
+		for i, k := range keys {
+			d := k >> shift & 0xffff
+			keys2[cnt[d]] = k
+			masks2[cnt[d]] = masks[i]
+			cnt[d]++
+		}
+		keys, keys2 = keys2, keys
+		masks, masks2 = masks2, masks
+	}
+	return masks, func(i int) float64 { return sums[masks[i]] }
+}
+
+// minCostSorted materializes all candidates in (cost, lex) order and strides
+// workers over the sorted list. The answer is the lowest-index safe
+// candidate; workers past the current best index stop wholesale.
+func (s *Space) minCostSorted(oracle Oracle, opts Options) (Result, error) {
+	n := 1 << s.K()
+	masks, costOf := s.sortCandidates()
 
 	workers := opts.workers()
 	if workers > n {
@@ -101,7 +152,7 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options) (Result, error) {
 					pruned.Add(int64((n - idx + workers - 1) / workers))
 					return
 				}
-				visible := all &^ cands[idx].mask
+				visible := all &^ masks[idx]
 				if unsafeFront.dominatesSuper(visible) {
 					pruned.Add(1) // superset of a known-unsafe visible set
 					continue
@@ -134,8 +185,8 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options) (Result, error) {
 	}
 	res := Result{Stats: Stats{Checked: int(checked.Load()), Pruned: int(pruned.Load())}}
 	if idx := bestIdx.Load(); idx < int64(n) {
-		res.Hidden = cands[idx].mask
-		res.Cost = cands[idx].cost
+		res.Hidden = masks[idx]
+		res.Cost = costOf(int(idx))
 		res.Found = true
 	}
 	return res, nil

@@ -147,6 +147,25 @@ func (s *Space) LexLess(a, b Mask) bool {
 	return lexLess(s.perm(a), s.perm(b))
 }
 
+// lexRank maps a name-sorted (permuted) mask to its preorder index in the
+// lexLess order over a k-bit universe: lexLess(x, y) ⟺ lexRank(x) <
+// lexRank(y). The order is the preorder walk of the subset tree in which a
+// node's children extend it with one element larger than its maximum, so
+// rank(S) for S = {s1 < ... < sm} adds, per element, 1 (the node itself)
+// plus the sizes 2^(k-t) of the earlier-sibling subtrees skipped. Computing
+// it once per mask turns the engine's sort comparator into two scalar
+// compares instead of repeated branchy bit fiddling.
+func lexRank(perm Mask, k int) uint32 {
+	var rank uint32
+	prev := 0 // last element rank consumed
+	for x := perm; x != 0; x &= x - 1 {
+		j := bits.TrailingZeros32(uint32(x)) + 1
+		rank += uint32(1 + (1<<(k-prev) - 1<<(k-j+1)))
+		prev = j
+	}
+	return rank
+}
+
 // lexLess compares two name-sorted (permuted) masks as ascending element
 // sequences. At the first rank where membership differs, the mask holding
 // that rank is smaller — unless the other mask has no higher rank at all, in

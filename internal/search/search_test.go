@@ -481,3 +481,28 @@ func TestPrunedBeatsNaiveOnChecks(t *testing.T) {
 		t.Error("cost not materialized")
 	}
 }
+
+// lexRank must be a monotone embedding of the lexLess order: exhaustive
+// pairwise check on a small universe, randomized on a large one.
+func TestLexRankMatchesLexLess(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 6, 10} {
+		n := 1 << k
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				want := lexLess(Mask(x), Mask(y))
+				got := lexRank(Mask(x), k) < lexRank(Mask(y), k)
+				if got != want {
+					t.Fatalf("k=%d x=%b y=%b: lexRank order %v, lexLess %v", k, x, y, got, want)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	const k = 24
+	for trial := 0; trial < 200000; trial++ {
+		x, y := Mask(rng.Intn(1<<k)), Mask(rng.Intn(1<<k))
+		if lexLess(x, y) != (lexRank(x, k) < lexRank(y, k)) {
+			t.Fatalf("k=%d x=%b y=%b: lexRank disagrees with lexLess", k, x, y)
+		}
+	}
+}

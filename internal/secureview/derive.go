@@ -27,13 +27,25 @@ func DeriveSet(w *workflow.Workflow, gamma uint64, costs privacy.Costs, privatiz
 // outputs is safe for Γ. This encoding is sound by construction (every
 // conforming hidden set is safe) and exact for symmetric modules such as
 // the one-one and majority functions of Example 6; for asymmetric modules
-// it is conservative. Exponential in the module arity.
+// it is conservative. Exponential in the module arity. The view is compiled
+// to the integer-coded oracle once, so each of the C(nI,α)·C(nO,β) subset
+// tests is a sort-and-scan over packed row codes rather than a relation
+// scan; views with overflowing domain products fall back to the interpreted
+// test.
 func DeriveCard(mv privacy.ModuleView, gamma uint64) ([]CardReq, error) {
 	nI, nO := len(mv.Inputs), len(mv.Outputs)
 	if nI+nO > 20 {
 		return nil, fmt.Errorf("secureview: module arity %d too large for cardinality derivation", nI+nO)
 	}
 	all := relation.NewNameSet(mv.Attrs()...)
+	isSafe := func(visible relation.NameSet) (bool, error) {
+		return mv.IsSafe(visible, gamma)
+	}
+	if comp, err := mv.Compile(); err == nil {
+		isSafe = func(visible relation.NameSet) (bool, error) {
+			return comp.IsSafe(comp.MaskOf(visible), gamma), nil
+		}
+	}
 	safePair := func(alpha, beta int) (bool, error) {
 		// Every hidden set with exactly alpha inputs and beta outputs must
 		// be safe. (By Proposition 1, larger hidden sets stay safe.)
@@ -42,7 +54,7 @@ func DeriveCard(mv privacy.ModuleView, gamma uint64) ([]CardReq, error) {
 		for _, hi := range inSubsets {
 			for _, ho := range outSubsets {
 				hidden := relation.NewNameSet(hi...).Union(relation.NewNameSet(ho...))
-				ok, err := mv.IsSafe(all.Minus(hidden), gamma)
+				ok, err := isSafe(all.Minus(hidden))
 				if err != nil {
 					return false, err
 				}

@@ -1,12 +1,23 @@
 package worlds
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"secureview/internal/module"
+	"secureview/internal/oracle"
 	"secureview/internal/relation"
 	"secureview/internal/workflow"
 )
+
+// ErrBudgetExhausted is the typed sentinel reported (wrapped, with the
+// budget value) when an enumeration explores more candidate assignments than
+// Enumerator.Budget allows. Callers distinguish it from configuration errors
+// with errors.Is.
+var ErrBudgetExhausted = errors.New("worlds: enumeration budget exhausted")
 
 // Enumerator exhaustively generates the possible worlds Worlds(R, V, P) of
 // a workflow relation (Definitions 4 and 6): all relations over the same
@@ -20,6 +31,12 @@ import (
 // This covers all the paper's constructions (they never hide initial
 // inputs). Enumeration is exponential in (#hidden cells × #rows); the
 // Budget guards against blow-ups.
+//
+// EachWorld walks worlds sequentially in a fixed deterministic order; Count,
+// OutSet and IsWorkflowPrivate shard the same DFS across Workers goroutines
+// by partitioning the first row's hidden-cell assignment space, so the set
+// of assignments explored (and the budget accounting) is identical to the
+// sequential walk.
 type Enumerator struct {
 	// W is the workflow; R its provenance relation over W.Schema().
 	W *workflow.Workflow
@@ -32,6 +49,9 @@ type Enumerator struct {
 	// Budget caps the number of candidate assignments explored
 	// (default 1<<24).
 	Budget uint64
+	// Workers shards Count, OutSet and IsWorkflowPrivate across this many
+	// goroutines (0 = GOMAXPROCS). EachWorld is always sequential.
+	Workers int
 }
 
 // check validates the enumerator configuration.
@@ -47,37 +67,61 @@ func (e *Enumerator) check() error {
 	return nil
 }
 
-// EachWorld calls fn with the rows of every possible world, in a fixed
-// deterministic order. The slice (and its tuples) are reused; fn must copy
-// what it keeps. Returning false stops enumeration. The error reports
-// configuration problems or budget exhaustion.
-func (e *Enumerator) EachWorld(fn func(rows []relation.Tuple) bool) error {
-	if err := e.check(); err != nil {
-		return err
+func (e *Enumerator) budget() uint64 {
+	if e.Budget == 0 {
+		return 1 << 24
 	}
-	budget := e.Budget
-	if budget == 0 {
-		budget = 1 << 24
+	return e.Budget
+}
+
+func (e *Enumerator) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// modCols is one module's column layout against the workflow schema.
+type modCols struct {
+	m        *module.Module
+	in, out  []int
+	enforced bool // public and not privatized: function must hold
+}
+
+// enumPlan is the compiled, read-only part of an enumeration: column
+// layouts, hidden-cell positions and the base rows. It is shared by every
+// worker; all mutable state lives in per-worker walkers.
+type enumPlan struct {
+	schema     *relation.Schema
+	baseRows   []relation.Tuple
+	hiddenCols []int
+	hiddenDoms []int
+	rowSpace   uint64 // ∏ hiddenDoms: hidden assignments of one row
+	mods       []modCols
+	budget     uint64
+	maxIn      int
+}
+
+// plan compiles the enumerator configuration.
+func (e *Enumerator) plan() (*enumPlan, error) {
+	if err := e.check(); err != nil {
+		return nil, err
 	}
 	schema := e.W.Schema()
-	nCols := schema.Len()
-	baseRows := e.R.SortedRows()
-	nRows := len(baseRows)
-
-	// Hidden column indices and their domains.
-	var hiddenCols []int
-	for i := 0; i < nCols; i++ {
+	p := &enumPlan{
+		schema:   schema,
+		baseRows: e.R.SortedRows(),
+		rowSpace: 1,
+		budget:   e.budget(),
+	}
+	for i := 0; i < schema.Len(); i++ {
 		if !e.Visible.Has(schema.Attr(i).Name) {
-			hiddenCols = append(hiddenCols, i)
+			p.hiddenCols = append(p.hiddenCols, i)
+			d := schema.Attr(i).Domain
+			p.hiddenDoms = append(p.hiddenDoms, d)
+			p.rowSpace *= uint64(d)
 		}
 	}
-	// Per-module column layout for FD and public checks.
-	type modCols struct {
-		m        *module.Module
-		in, out  []int
-		enforced bool // public and not privatized: function must hold
-	}
-	var mods []modCols
 	for _, m := range e.W.Modules() {
 		in := make([]int, len(m.InputNames()))
 		for i, n := range m.InputNames() {
@@ -87,209 +131,462 @@ func (e *Enumerator) EachWorld(fn func(rows []relation.Tuple) bool) error {
 		for i, n := range m.OutputNames() {
 			out[i] = schema.IndexOf(n)
 		}
-		mods = append(mods, modCols{
+		if len(in) > p.maxIn {
+			p.maxIn = len(in)
+		}
+		p.mods = append(p.mods, modCols{
 			m: m, in: in, out: out,
 			enforced: m.Visibility() == module.Public && !e.Privatized.Has(m.Name()),
 		})
 	}
+	return p, nil
+}
 
-	rows := make([]relation.Tuple, nRows)
-	for i, r := range baseRows {
-		rows[i] = r.Clone()
+// walker is one goroutine's mutable enumeration state: a private copy of the
+// rows plus scratch buffers. The budget and stop flags are shared.
+type walker struct {
+	p        *enumPlan
+	rows     []relation.Tuple
+	xbuf     relation.Tuple
+	explored *atomic.Uint64
+	over     *atomic.Bool // budget exhausted
+	stop     *atomic.Bool // fn asked to stop
+	fn       func(rows []relation.Tuple) bool
+}
+
+func newWalker(p *enumPlan, explored *atomic.Uint64, over, stop *atomic.Bool,
+	fn func(rows []relation.Tuple) bool) *walker {
+	w := &walker{
+		p:        p,
+		rows:     make([]relation.Tuple, len(p.baseRows)),
+		xbuf:     make(relation.Tuple, p.maxIn),
+		explored: explored,
+		over:     over,
+		stop:     stop,
+		fn:       fn,
 	}
+	for i, r := range p.baseRows {
+		w.rows[i] = r.Clone()
+	}
+	return w
+}
 
-	rowOK := func(r int) bool {
-		row := rows[r]
-		// Visible public modules must compute their real function.
-		for _, mc := range mods {
-			if !mc.enforced {
+// rowOK checks row r against the enforced module functions and the FDs
+// induced by earlier rows.
+func (w *walker) rowOK(r int) bool {
+	row := w.rows[r]
+	for _, mc := range w.p.mods {
+		if !mc.enforced {
+			continue
+		}
+		x := w.xbuf[:len(mc.in)]
+		for i, c := range mc.in {
+			x[i] = row[c]
+		}
+		y := mc.m.MustEval(x)
+		for i, c := range mc.out {
+			if row[c] != y[i] {
+				return false
+			}
+		}
+	}
+	// FDs against earlier rows: equal module inputs force equal outputs.
+	for _, mc := range w.p.mods {
+		for s := 0; s < r; s++ {
+			same := true
+			for _, c := range mc.in {
+				if w.rows[s][c] != row[c] {
+					same = false
+					break
+				}
+			}
+			if !same {
 				continue
 			}
-			x := make(relation.Tuple, len(mc.in))
-			for i, c := range mc.in {
-				x[i] = row[c]
-			}
-			y := mc.m.MustEval(x)
-			for i, c := range mc.out {
-				if row[c] != y[i] {
+			for _, c := range mc.out {
+				if w.rows[s][c] != row[c] {
 					return false
 				}
 			}
 		}
-		// FDs against earlier rows: equal module inputs force equal outputs.
-		for _, mc := range mods {
-			for s := 0; s < r; s++ {
-				same := true
-				for _, c := range mc.in {
-					if rows[s][c] != row[c] {
-						same = false
-						break
-					}
-				}
-				if !same {
-					continue
-				}
-				for _, c := range mc.out {
-					if rows[s][c] != row[c] {
-						return false
-					}
-				}
-			}
-		}
-		return true
 	}
+	return true
+}
 
-	explored := uint64(0)
-	stopped := false
-	overBudget := false
-	// assignRow enumerates the hidden cells of row r, then recurses.
-	var assignRow func(r int) bool // returns false to stop everything
-	var assignCell func(r, h int) bool
-	assignRow = func(r int) bool {
-		if r == len(rows) {
-			cont := fn(rows)
-			if !cont {
-				stopped = true
-			}
-			return cont
+// assignRow enumerates the hidden cells of row r onward; returns false to
+// stop the whole walk (budget or fn-requested).
+func (w *walker) assignRow(r int) bool {
+	if r == len(w.rows) {
+		if !w.fn(w.rows) {
+			w.stop.Store(true)
+			return false
 		}
-		return assignCell(r, 0)
-	}
-	assignCell = func(r, h int) bool {
-		if h == len(hiddenCols) {
-			explored++
-			if explored > budget {
-				overBudget = true
-				return false
-			}
-			if !rowOK(r) {
-				return true // prune this assignment, keep going
-			}
-			return assignRow(r + 1)
-		}
-		col := hiddenCols[h]
-		orig := rows[r][col]
-		for v := 0; v < e.W.Schema().Attr(col).Domain; v++ {
-			rows[r][col] = v
-			if !assignCell(r, h+1) {
-				rows[r][col] = orig
-				return false
-			}
-		}
-		rows[r][col] = orig
 		return true
 	}
-	assignRow(0)
-	if overBudget {
-		return fmt.Errorf("worlds: enumeration budget %d exhausted", budget)
+	return w.assignCell(r, 0)
+}
+
+func (w *walker) assignCell(r, h int) bool {
+	if h == len(w.p.hiddenCols) {
+		// Check the stop flag BEFORE charging the budget: when fn has already
+		// determined the result (early exit), racing workers must not push
+		// the counter over the budget and turn success into a spurious
+		// ErrBudgetExhausted.
+		if w.stop.Load() {
+			return false
+		}
+		if w.explored.Add(1) > w.p.budget {
+			w.over.Store(true)
+			w.stop.Store(true)
+			return false
+		}
+		if !w.rowOK(r) {
+			return true // prune this assignment, keep going
+		}
+		return w.assignRow(r + 1)
 	}
-	_ = stopped
+	col := w.p.hiddenCols[h]
+	orig := w.rows[r][col]
+	for v := 0; v < w.p.hiddenDoms[h]; v++ {
+		w.rows[r][col] = v
+		if !w.assignCell(r, h+1) {
+			w.rows[r][col] = orig
+			return false
+		}
+	}
+	w.rows[r][col] = orig
+	return true
+}
+
+// setRowAssignment writes mixed-radix assignment code a into row r's hidden
+// cells, hiddenCols[0] most significant — the same order assignCell explores.
+func (w *walker) setRowAssignment(r int, a uint64) {
+	for h := len(w.p.hiddenCols) - 1; h >= 0; h-- {
+		d := uint64(w.p.hiddenDoms[h])
+		w.rows[r][w.p.hiddenCols[h]] = relation.Value(a % d)
+		a /= d
+	}
+}
+
+// EachWorld calls fn with the rows of every possible world, in a fixed
+// deterministic order. The slice (and its tuples) are reused; fn must copy
+// what it keeps. Returning false stops enumeration. The error reports
+// configuration problems or budget exhaustion (ErrBudgetExhausted).
+func (e *Enumerator) EachWorld(fn func(rows []relation.Tuple) bool) error {
+	p, err := e.plan()
+	if err != nil {
+		return err
+	}
+	var explored atomic.Uint64
+	var over, stop atomic.Bool
+	w := newWalker(p, &explored, &over, &stop, fn)
+	w.assignRow(0)
+	if over.Load() {
+		return fmt.Errorf("%w (budget %d)", ErrBudgetExhausted, p.budget)
+	}
 	return nil
 }
 
-// Count returns the number of possible worlds.
+// eachWorldParallel shards the world walk over the enumerator's workers by
+// partitioning the first row's hidden-cell assignment space; each worker
+// runs the same DFS below its slice of row-0 assignments, so the explored
+// set and budget accounting match EachWorld exactly (only the visit order
+// differs). fn is invoked concurrently — it receives the worker index and
+// must confine mutation to per-worker state; returning false stops every
+// worker.
+func (e *Enumerator) eachWorldParallel(workers int,
+	fn func(worker int, rows []relation.Tuple) bool) error {
+	p, err := e.plan()
+	if err != nil {
+		return err
+	}
+	var explored atomic.Uint64
+	var over, stop atomic.Bool
+
+	if len(p.baseRows) == 0 || len(p.hiddenCols) == 0 || workers <= 1 {
+		// Degenerate task space (or explicitly sequential): one walker.
+		w := newWalker(p, &explored, &over, &stop,
+			func(rows []relation.Tuple) bool { return fn(0, rows) })
+		w.assignRow(0)
+		if over.Load() {
+			return fmt.Errorf("%w (budget %d)", ErrBudgetExhausted, p.budget)
+		}
+		return nil
+	}
+
+	if workers > int(p.rowSpace) {
+		workers = int(p.rowSpace)
+	}
+	var next atomic.Uint64 // task = one row-0 hidden assignment
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := newWalker(p, &explored, &over, &stop,
+				func(rows []relation.Tuple) bool { return fn(id, rows) })
+			for {
+				t := next.Add(1) - 1
+				if t >= p.rowSpace || stop.Load() {
+					return
+				}
+				w.setRowAssignment(0, t)
+				if stop.Load() { // result already determined: don't charge the budget
+					return
+				}
+				if explored.Add(1) > p.budget {
+					over.Store(true)
+					stop.Store(true)
+					return
+				}
+				if !w.rowOK(0) {
+					continue
+				}
+				if !w.assignRow(1) {
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if over.Load() {
+		return fmt.Errorf("%w (budget %d)", ErrBudgetExhausted, p.budget)
+	}
+	return nil
+}
+
+// Count returns the number of possible worlds, sharding the enumeration
+// across the configured workers.
 func (e *Enumerator) Count() (uint64, error) {
-	var n uint64
-	err := e.EachWorld(func([]relation.Tuple) bool {
-		n++
+	var n atomic.Uint64
+	err := e.eachWorldParallel(e.workers(), func(int, []relation.Tuple) bool {
+		n.Add(1)
 		return true
 	})
-	return n, err
+	return n.Load(), err
+}
+
+// targetLayout is the compiled query plan for OUT-set computation against
+// one module: column positions within the workflow schema plus the
+// output-code space. World rows are packed with relation.EncodeCols against
+// these column lists.
+type targetLayout struct {
+	m               *module.Module
+	schema          *relation.Schema
+	inCols, outCols []int
+	prodOut         uint64
+	outSchema       *relation.Schema
+}
+
+func (e *Enumerator) layoutFor(m *module.Module) (*targetLayout, error) {
+	schema := e.W.Schema()
+	tl := &targetLayout{
+		m:         m,
+		schema:    schema,
+		inCols:    make([]int, len(m.InputNames())),
+		outCols:   make([]int, len(m.OutputNames())),
+		outSchema: m.OutputSchema(),
+	}
+	for i, n := range m.InputNames() {
+		tl.inCols[i] = schema.IndexOf(n)
+	}
+	for i, n := range m.OutputNames() {
+		tl.outCols[i] = schema.IndexOf(n)
+	}
+	prodOut, ok := tl.outSchema.DomainProduct(m.OutputNames())
+	if !ok || prodOut > oracle.MaxOutSetDomain {
+		return nil, fmt.Errorf("worlds: output domain of %s too large for OUT-set bitsets", m.Name())
+	}
+	tl.prodOut = prodOut
+	return tl, nil
+}
+
+// queryCode packs an input tuple, reporting whether every value is within
+// its domain (out-of-domain inputs occur in no world).
+func (tl *targetLayout) queryCode(x relation.Tuple) (uint64, bool, error) {
+	if len(x) != len(tl.inCols) {
+		return 0, false, fmt.Errorf("worlds: input arity %d, want %d for %s",
+			len(x), len(tl.inCols), tl.m.Name())
+	}
+	var code uint64
+	for i, v := range x {
+		d := uint64(tl.schema.Attr(tl.inCols[i]).Domain)
+		if v < 0 || uint64(v) >= d {
+			return 0, false, nil
+		}
+		code = code*d + uint64(v)
+	}
+	return code, true, nil
+}
+
+// outSets computes OUT_{x,W} for every queried input code of the target
+// module in ONE (parallel) pass over the possible worlds — where the old
+// per-x implementation re-enumerated the worlds for each input. For each
+// world, the single consistent output of each queried input is recorded in a
+// per-worker bitset over output codes; worlds in which a query never occurs
+// make its OUT set the full output space (the vacuous-implication reading of
+// Definition 5). Per-worker bitsets are merged at the end. vacuous[i]
+// reports the full-space case.
+func (e *Enumerator) outSets(tl *targetLayout, queries []uint64) (bits []oracle.Bitset, vacuous []bool, err error) {
+	workers := e.workers()
+	qidx := make(map[uint64]int, len(queries))
+	for i, q := range queries {
+		qidx[q] = i
+	}
+	// Per-worker bitsets are allocated lazily on first contribution: a
+	// worker whose shard never records an output for a query pays nothing,
+	// which keeps the upfront cost bounded by what is actually touched
+	// instead of workers × queries × prodOut/8.
+	wBits := make([][]oracle.Bitset, workers)
+	wVac := make([][]bool, workers)
+	states := make([][]int64, workers)
+	for w := 0; w < workers; w++ {
+		wBits[w] = make([]oracle.Bitset, len(queries))
+		wVac[w] = make([]bool, len(queries))
+		states[w] = make([]int64, len(queries))
+	}
+
+	err = e.eachWorldParallel(workers, func(worker int, rows []relation.Tuple) bool {
+		st := states[worker]
+		for i := range st {
+			st[i] = -1 // unseen
+		}
+		for _, row := range rows {
+			qi, ok := qidx[relation.EncodeCols(tl.schema, row, tl.inCols)]
+			if !ok {
+				continue
+			}
+			oc := int64(relation.EncodeCols(tl.schema, row, tl.outCols))
+			if st[qi] == -1 {
+				st[qi] = oc
+			} else if st[qi] != oc {
+				st[qi] = -2 // inconsistent: world contributes nothing for qi
+			}
+		}
+		allVacuous := true
+		for qi, s := range st {
+			switch {
+			case s == -1:
+				wVac[worker][qi] = true
+			case s >= 0:
+				if wBits[worker][qi] == nil {
+					wBits[worker][qi] = oracle.NewBitset(tl.prodOut)
+				}
+				wBits[worker][qi].Set(uint64(s))
+			}
+			if !wVac[worker][qi] {
+				allVacuous = false
+			}
+		}
+		// Once every query has hit a vacuous world, every OUT set is the
+		// full output space and the result cannot change: stop all workers.
+		return !allVacuous
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	bits = wBits[0]
+	vacuous = wVac[0]
+	for i := range bits {
+		if bits[i] == nil {
+			bits[i] = oracle.NewBitset(tl.prodOut)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		for i := range bits {
+			if wBits[w][i] != nil {
+				bits[i].Or(wBits[w][i])
+			}
+			vacuous[i] = vacuous[i] || wVac[w][i]
+		}
+	}
+	return bits, vacuous, nil
 }
 
 // OutSet computes OUT_{x,W} for the named module per Definition 5: the set
 // of outputs y such that some possible world maps every occurrence of input
 // x at that module to y. Worlds in which x never occurs as the module's
 // input admit every output (the implication is vacuous) — the detail that
-// makes privatization effective (section 5.1).
+// makes privatization effective (section 5.1). The result is in ascending
+// output-code order (the EachTuple order).
 func (e *Enumerator) OutSet(target string, x relation.Tuple) ([]relation.Tuple, error) {
 	m := e.W.Module(target)
 	if m == nil {
 		return nil, fmt.Errorf("worlds: no module %q", target)
 	}
-	schema := e.W.Schema()
-	inCols := make([]int, len(m.InputNames()))
-	for i, n := range m.InputNames() {
-		inCols[i] = schema.IndexOf(n)
-	}
-	outCols := make([]int, len(m.OutputNames()))
-	for i, n := range m.OutputNames() {
-		outCols[i] = schema.IndexOf(n)
-	}
-	outSchema := m.OutputSchema()
-	found := make(map[uint64]bool)
-	vacuousAll := false
-	err := e.EachWorld(func(rows []relation.Tuple) bool {
-		var y relation.Tuple
-		consistent := true
-		seen := false
-		for _, row := range rows {
-			match := true
-			for i, c := range inCols {
-				if row[c] != x[i] {
-					match = false
-					break
-				}
-			}
-			if !match {
-				continue
-			}
-			cur := make(relation.Tuple, len(outCols))
-			for i, c := range outCols {
-				cur[i] = row[c]
-			}
-			if !seen {
-				seen = true
-				y = cur
-			} else if !y.Equal(cur) {
-				consistent = false
-				break
-			}
-		}
-		if !consistent {
-			return true
-		}
-		if !seen {
-			vacuousAll = true
-			return false // every output possible; no need to continue
-		}
-		found[relation.Encode(outSchema, y)] = true
-		return true
-	})
+	tl, err := e.layoutFor(m)
 	if err != nil {
 		return nil, err
 	}
-	if vacuousAll {
-		return relation.AllTuples(outSchema), nil
+	code, inDomain, err := tl.queryCode(x)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]relation.Tuple, 0, len(found))
-	relation.EachTuple(outSchema, func(t relation.Tuple) bool {
-		if found[relation.Encode(outSchema, t)] {
-			out = append(out, t.Clone())
-		}
-		return true
+	if !inDomain {
+		// x occurs in no world: every output is possible.
+		return relation.AllTuples(tl.outSchema), nil
+	}
+	bits, vacuous, err := e.outSets(tl, []uint64{code})
+	if err != nil {
+		return nil, err
+	}
+	if vacuous[0] {
+		return relation.AllTuples(tl.outSchema), nil
+	}
+	out := make([]relation.Tuple, 0, bits[0].Count())
+	bits[0].Each(func(c uint64) {
+		out = append(out, relation.Decode(tl.outSchema, c))
 	})
 	return out, nil
 }
 
+// queriesFromRelation returns the distinct input codes the target module
+// receives in R, in first-seen projection order.
+func (e *Enumerator) queriesFromRelation(tl *targetLayout) ([]uint64, error) {
+	inputs, err := e.R.Project(tl.m.InputNames())
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]uint64, 0, inputs.Len())
+	for _, x := range inputs.Rows() {
+		code, ok, err := tl.queryCode(x)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			queries = append(queries, code)
+		}
+	}
+	return queries, nil
+}
+
 // IsWorkflowPrivate reports whether the named module is Γ-workflow-private
 // w.r.t. the enumerator's visible set (Definition 5): |OUT_{x,W}| >= Γ for
-// every input x the module receives in R.
+// every input x the module receives in R. All OUT sets are computed in one
+// sharded pass over the possible worlds.
 func (e *Enumerator) IsWorkflowPrivate(target string, gamma uint64) (bool, error) {
 	m := e.W.Module(target)
 	if m == nil {
 		return false, fmt.Errorf("worlds: no module %q", target)
 	}
-	inputs, err := e.R.Project(m.InputNames())
+	tl, err := e.layoutFor(m)
 	if err != nil {
 		return false, err
 	}
-	for _, x := range inputs.Rows() {
-		out, err := e.OutSet(target, x)
-		if err != nil {
-			return false, err
+	queries, err := e.queriesFromRelation(tl)
+	if err != nil {
+		return false, err
+	}
+	bits, vacuous, err := e.outSets(tl, queries)
+	if err != nil {
+		return false, err
+	}
+	for i := range queries {
+		size := tl.prodOut
+		if !vacuous[i] {
+			size = bits[i].Count()
 		}
-		if uint64(len(out)) < gamma {
+		if size < gamma {
 			return false, nil
 		}
 	}

@@ -1,0 +1,130 @@
+package worlds
+
+// Tests for the sharded world enumeration: worker counts must not change
+// counts, OUT sets or privacy verdicts, and budget exhaustion must surface
+// as the typed ErrBudgetExhausted sentinel.
+
+import (
+	"errors"
+	"testing"
+
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+func TestBudgetExhaustedSentinel(t *testing.T) {
+	w := workflow.Chain("big", 1, 4, "identity")
+	hidden := relation.NewNameSet("x1_0", "x1_1", "x1_2", "x1_3")
+	e := &Enumerator{
+		W: w, R: w.MustRelation(),
+		Visible: relation.NewNameSet(w.Schema().Names()...).Minus(hidden),
+		Budget:  10,
+	}
+	if _, err := e.Count(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("Count error = %v, want errors.Is ErrBudgetExhausted", err)
+	}
+	if err := e.EachWorld(func([]relation.Tuple) bool { return true }); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("EachWorld error = %v, want errors.Is ErrBudgetExhausted", err)
+	}
+	if _, err := e.IsWorkflowPrivate("m1", 2); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("IsWorkflowPrivate error = %v, want errors.Is ErrBudgetExhausted", err)
+	}
+
+	// Configuration errors are NOT budget exhaustion.
+	bad := &Enumerator{W: w, R: w.MustRelation(), Visible: relation.NewNameSet()}
+	if _, err := bad.Count(); err == nil || errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("config error = %v, must not match ErrBudgetExhausted", err)
+	}
+}
+
+func TestParallelCountMatchesSequential(t *testing.T) {
+	w := workflow.Fig1()
+	r := w.MustRelation()
+	all := relation.NewNameSet(w.Schema().Names()...)
+	for _, hidden := range []relation.NameSet{
+		relation.NewNameSet("a4", "a7"),
+		relation.NewNameSet("a3", "a4", "a6", "a7"),
+		relation.NewNameSet("a3", "a4", "a5", "a6", "a7"),
+	} {
+		visible := all.Minus(hidden)
+		seq := &Enumerator{W: w, R: r, Visible: visible, Workers: 1}
+		want, err := seq.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sequential EachWorld agrees with the single-worker count.
+		var byWalk uint64
+		if err := seq.EachWorld(func([]relation.Tuple) bool { byWalk++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if byWalk != want {
+			t.Fatalf("hidden %v: EachWorld count %d != Count %d", hidden, byWalk, want)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := &Enumerator{W: w, R: r, Visible: visible, Workers: workers}
+			got, err := par.Count()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("hidden %v workers=%d: Count %d != sequential %d", hidden, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelOutSetMatchesSequential(t *testing.T) {
+	w := workflow.Fig1()
+	r := w.MustRelation()
+	visible := relation.NewNameSet("a1", "a2", "a3", "a5", "a6")
+	m := w.Module("m1")
+	inputs := r.MustProject(m.InputNames()...)
+	for _, x := range inputs.Rows() {
+		seq := &Enumerator{W: w, R: r, Visible: visible, Workers: 1}
+		want, err := seq.OutSet("m1", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := &Enumerator{W: w, R: r, Visible: visible, Workers: 4}
+		got, err := par.OutSet("m1", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("x=%v: parallel |OUT| = %d, sequential %d", x, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("x=%v: OUT[%d] = %v, sequential %v", x, i, got[i], want[i])
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		e := &Enumerator{W: w, R: r, Visible: visible, Workers: workers}
+		private, err := e.IsWorkflowPrivate("m1", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !private {
+			t.Fatalf("workers=%d: m1 not 2-workflow-private", workers)
+		}
+	}
+}
+
+func TestOutSetArityError(t *testing.T) {
+	w := workflow.Fig1()
+	e := &Enumerator{W: w, R: w.MustRelation(),
+		Visible: relation.NewNameSet(w.Schema().Names()...)}
+	if _, err := e.OutSet("m1", relation.Tuple{0}); err == nil {
+		t.Error("wrong input arity accepted")
+	}
+	// Out-of-domain inputs occur in no world: every output is possible.
+	out, err := e.OutSet("m1", relation.Tuple{7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.Module("m1")
+	if want := relation.AllTuples(m.OutputSchema()); len(out) != len(want) {
+		t.Errorf("out-of-domain OUT size = %d, want full space %d", len(out), len(want))
+	}
+}

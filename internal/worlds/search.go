@@ -77,9 +77,43 @@ func (hp HidingProblem) MinCostHiding(opts search.Options) (relation.NameSet, fl
 		return nil, 0, false, search.Stats{}, fmt.Errorf("worlds: %w", err)
 	}
 	allNames := relation.NewNameSet(hp.W.Schema().Names()...)
-	// The engine asks about each candidate mask at most once per run, so no
-	// per-call memo is needed; Proposition 1 pruning is what keeps the number
-	// of enumerations down.
+	// Compile the per-target query plans ONCE — module column layouts,
+	// output-code spaces and the distinct input codes each target receives in
+	// R are mask-independent — and share the read-only result across the
+	// engine's worker pool. Per tested mask only the visible set changes;
+	// each safety test is then one sharded pass over the possible worlds per
+	// target, answering every input's OUT set simultaneously. The engine asks
+	// about each candidate mask at most once per run, so no per-call memo is
+	// needed; Proposition 1 pruning is what keeps the number of enumerations
+	// down.
+	type targetPlan struct {
+		layout  *targetLayout
+		queries []uint64
+	}
+	probe := &Enumerator{W: hp.W, R: hp.R, Visible: allNames,
+		Privatized: hp.Privatized, Budget: hp.Budget}
+	plans := make([]targetPlan, len(targets))
+	for i, target := range targets {
+		m := hp.W.Module(target)
+		if m == nil {
+			return nil, 0, false, search.Stats{}, fmt.Errorf("worlds: no module %q", target)
+		}
+		tl, err := probe.layoutFor(m)
+		if err != nil {
+			return nil, 0, false, search.Stats{}, err
+		}
+		queries, err := probe.queriesFromRelation(tl)
+		if err != nil {
+			return nil, 0, false, search.Stats{}, err
+		}
+		plans[i] = targetPlan{layout: tl, queries: queries}
+	}
+	// The engine already fans masks out across its pool, so each inner
+	// enumeration runs single-worker unless the engine itself is serialized.
+	enumWorkers := 1
+	if opts.Parallelism == 1 {
+		enumWorkers = 0 // GOMAXPROCS
+	}
 	oracle := search.Oracle(func(visible search.Mask) (bool, error) {
 		hidden := sp.NameSet(sp.All() &^ visible)
 		e := &Enumerator{
@@ -88,14 +122,21 @@ func (hp HidingProblem) MinCostHiding(opts search.Options) (relation.NameSet, fl
 			Visible:    allNames.Minus(hidden),
 			Privatized: hp.Privatized,
 			Budget:     hp.Budget,
+			Workers:    enumWorkers,
 		}
-		for _, target := range targets {
-			private, err := e.IsWorkflowPrivate(target, hp.Gamma)
+		for _, tp := range plans {
+			bits, vacuous, err := e.outSets(tp.layout, tp.queries)
 			if err != nil {
 				return false, err
 			}
-			if !private {
-				return false, nil
+			for i := range tp.queries {
+				size := tp.layout.prodOut
+				if !vacuous[i] {
+					size = bits[i].Count()
+				}
+				if size < hp.Gamma {
+					return false, nil
+				}
 			}
 		}
 		return true, nil
