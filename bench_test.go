@@ -13,6 +13,7 @@ import (
 
 	"secureview/internal/combopt"
 	"secureview/internal/exp"
+	"secureview/internal/gen"
 	"secureview/internal/module"
 	"secureview/internal/oracle"
 	"secureview/internal/privacy"
@@ -212,6 +213,42 @@ func BenchmarkE19Scaling(b *testing.B) { benchExperiment(b, "E19") }
 func BenchmarkE20EngineVsNaive(b *testing.B) { benchExperiment(b, "E20") }
 
 func BenchmarkE21CompiledOracle(b *testing.B) { benchExperiment(b, "E21") }
+
+func BenchmarkE22ScenarioDiff(b *testing.B) { benchExperiment(b, "E22") }
+
+func BenchmarkE23ScenarioPerf(b *testing.B) { benchExperiment(b, "E23") }
+
+// BenchmarkGeneratedScenario times the full per-instance pipeline (generate,
+// derive, solve with every heuristic and the exact solver) on one fixed
+// instance per topology class — the unit of work the E22 differential suite
+// and the scenario property tests repeat hundreds of times.
+func BenchmarkGeneratedScenario(b *testing.B) {
+	for _, cl := range gen.Classes() {
+		cl := cl
+		b.Run(cl.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				it, err := gen.New(cl.Cfg, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := it.Derive()
+				if err != nil {
+					continue // class infeasible at Γ for this seed
+				}
+				if sol := sv.Greedy(p, sv.Set); !p.Feasible(sol, sv.Set) {
+					b.Fatal("greedy infeasible")
+				}
+				if _, _, err := sv.SetLPRound(p); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sv.ExactSet(p, 1<<22); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- the internal/search engine vs the naive loop on large instances ---
 

@@ -16,8 +16,10 @@ import (
 	"time"
 
 	"secureview/internal/exp"
+	"secureview/internal/gen"
 	"secureview/internal/oracle"
 	"secureview/internal/search"
+	"secureview/internal/secureview"
 )
 
 // benchResult is one (variant, k) measurement.
@@ -119,9 +121,104 @@ func writeBenchJSON(path string, quick bool) error {
 			})
 		}
 	}
+	scen, err := scenarioResults(quick)
+	if err != nil {
+		return err
+	}
+	results = append(results, scen...)
 	raw, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// scenarioResults extends the trajectory across instance SHAPES: for every
+// canonical generated topology class (internal/gen), it times derivation
+// and the full solver mix on a fixed-seed instance, so BENCH_results.json
+// tracks performance per topology class, not just per k. Solver sanity
+// (greedy and the LP rounding never beating the exact optimum) fails the
+// run, mirroring the cross-variant checks of the standalone rows.
+func scenarioResults(quick bool) ([]benchResult, error) {
+	reps := 3
+	if quick {
+		reps = 1
+	}
+	var results []benchResult
+	for _, cl := range gen.Classes() {
+		// The canonical classes derive feasibly on the early seeds; scan a
+		// few in case a class tightens later.
+		var it *gen.Instance
+		var p *secureview.Problem
+		for seed := int64(0); seed < 8; seed++ {
+			cand, err := gen.New(cl.Cfg, seed)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", cl.Name, err)
+			}
+			if derived, err := cand.Derive(); err == nil {
+				it, p = cand, derived
+				break
+			}
+		}
+		if it == nil {
+			return nil, fmt.Errorf("scenario %s: no seed derives a feasible instance", cl.Name)
+		}
+		k := it.W.Schema().Len()
+
+		deriveBest := time.Duration(1 << 62)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if _, err := it.Derive(); err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", cl.Name, err)
+			}
+			if d := time.Since(start); d < deriveBest {
+				deriveBest = d
+			}
+		}
+		results = append(results, benchResult{
+			Name: "scenario/" + cl.Name + "/derive", K: k, Gamma: it.Gamma,
+			NsPerOp: deriveBest.Nanoseconds(),
+		})
+
+		exact, err := secureview.ExactSet(p, 1<<22)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s exact: %w", cl.Name, err)
+		}
+		optCost := p.Cost(exact)
+		solvers := []struct {
+			name string
+			run  func() (secureview.Solution, error)
+		}{
+			{"greedy", func() (secureview.Solution, error) { return secureview.Greedy(p, secureview.Set), nil }},
+			{"lp", func() (secureview.Solution, error) { s, _, err := secureview.SetLPRound(p); return s, err }},
+			{"exact", func() (secureview.Solution, error) { return secureview.ExactSet(p, 1<<22) }},
+		}
+		for _, s := range solvers {
+			best := time.Duration(1 << 62)
+			var sol secureview.Solution
+			for i := 0; i < reps; i++ {
+				start := time.Now()
+				got, err := s.run()
+				d := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s %s: %w", cl.Name, s.name, err)
+				}
+				if d < best {
+					best = d
+					sol = got
+				}
+			}
+			cost := p.Cost(sol)
+			if cost < optCost-1e-9*(1+optCost) {
+				return nil, fmt.Errorf("scenario %s: %s cost %g beats exact optimum %g",
+					cl.Name, s.name, cost, optCost)
+			}
+			results = append(results, benchResult{
+				Name: "scenario/" + cl.Name + "/" + s.name, K: k, Gamma: it.Gamma,
+				NsPerOp: best.Nanoseconds(), Cost: cost,
+				Hidden: sol.Hidden.Sorted(),
+			})
+		}
+	}
+	return results, nil
 }

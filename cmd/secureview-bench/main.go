@@ -1,4 +1,4 @@
-// Command secureview-bench runs the reproduction experiments E1–E21 (see
+// Command secureview-bench runs the reproduction experiments E1–E23 (see
 // DESIGN.md section 4 and EXPERIMENTS.md) and prints their result tables.
 //
 // Usage:
@@ -7,7 +7,9 @@
 //	secureview-bench -quick     # trimmed sweeps (seconds, used in CI)
 //	secureview-bench -exp E8    # a single experiment
 //	secureview-bench -exp E20 -parallel 8
+//	secureview-bench -exp E22 -quick                 # generated-scenario differential suite
 //	secureview-bench -benchjson BENCH_results.json   # machine-readable perf trajectory
+//	                                                 # (standalone-search/* and scenario/* rows)
 package main
 
 import (
@@ -21,7 +23,7 @@ import (
 
 func main() {
 	var (
-		id        = flag.String("exp", "", "run a single experiment (E1..E21)")
+		id        = flag.String("exp", "", "run a single experiment (E1..E23)")
 		quick     = flag.Bool("quick", false, "trim parameter sweeps")
 		parallel  = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
 		benchjson = flag.String("benchjson", "", "write machine-readable benchmark results to this JSON file and exit")

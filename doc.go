@@ -26,7 +26,15 @@
 //	internal/combopt     set/vertex/label cover (reduction sources)
 //	internal/reductions  the hardness constructions as generators
 //	internal/workload    random workflow/instance generators
-//	internal/exp         experiment registry E1–E21
+//	internal/gen         deterministic seed-driven scenario generator:
+//	                     chain/tree/layered topologies, function kinds,
+//	                     cost models, abstract instances; byte-identical
+//	                     reproduction per (Config, seed)
+//	internal/gen/diff    cross-solver differential harness: exact ≡ BB ≡
+//	                     engine, greedy/LP feasibility + approximation
+//	                     bounds, compiled ≡ interpreted oracle, exhaustive
+//	                     possible-world verification on small instances
+//	internal/exp         experiment registry E1–E23
 //
 // Entry points: cmd/secureview (solve instances), cmd/secureview-bench
 // (reproduce the experiment tables), cmd/worlds (world counting), and the

@@ -12,6 +12,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"secureview/internal/gen"
+	"secureview/internal/gen/diff"
 	"secureview/internal/module"
 	"secureview/internal/privacy"
 	"secureview/internal/provenance"
@@ -95,6 +97,38 @@ func TestEndToEndRandomWorkflows(t *testing.T) {
 				if err != nil || !safe {
 					t.Errorf("module %s unsafe under optimal view", m.Name())
 				}
+			}
+		})
+	}
+}
+
+// TestEndToEndGeneratedScenarios drives every canonical generated topology
+// class (internal/gen) through the full cross-solver differential harness
+// (internal/gen/diff): solver agreement, approximation bounds, compiled-
+// vs-interpreted oracle agreement and — on the small instances —
+// exhaustive possible-world verification. Zero violations expected.
+func TestEndToEndGeneratedScenarios(t *testing.T) {
+	seeds := int64(4)
+	if testing.Short() {
+		seeds = 1
+	}
+	for _, cl := range gen.Classes() {
+		cl := cl
+		t.Run(cl.Name, func(t *testing.T) {
+			var results []diff.Result
+			for seed := int64(0); seed < seeds; seed++ {
+				it, err := gen.New(cl.Cfg, seed)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				results = append(results, diff.CheckInstance(it, diff.Options{}))
+			}
+			total := diff.Merge(results...)
+			for _, v := range total.Violations {
+				t.Error(v)
+			}
+			if total.Exact == 0 {
+				t.Errorf("class %s: no instance anchored by an exact optimum", cl.Name)
 			}
 		})
 	}

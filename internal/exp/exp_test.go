@@ -20,7 +20,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestFind(t *testing.T) {
-	if Find("E1") == nil || Find("E19") == nil {
+	if Find("E1") == nil || Find("E19") == nil || Find("E22") == nil || Find("E23") == nil {
 		t.Fatal("registry lookup failed")
 	}
 	if Find("E99") != nil {

@@ -1,8 +1,9 @@
 // Package exp is the experiment harness: it hosts the registry of
-// reproduction experiments E1–E15 (one per paper artifact, see DESIGN.md
-// section 4) and renders their results as aligned text tables. The
-// cmd/secureview-bench binary and the root benchmarks both drive this
-// registry; EXPERIMENTS.md records its output.
+// reproduction experiments E1–E23 (one per paper artifact plus the
+// engineering experiments, see DESIGN.md section 4) and renders their
+// results as aligned text tables. The cmd/secureview-bench binary and the
+// root benchmarks both drive this registry; EXPERIMENTS.md records its
+// output.
 package exp
 
 import (

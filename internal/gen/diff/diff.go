@@ -1,0 +1,448 @@
+// Package diff is the cross-solver differential harness over generated
+// Secure-View instances (internal/gen): it runs every applicable solver on
+// each instance and checks the invariants the paper's theorems promise —
+//
+//   - exact enumeration, branch-and-bound and the pruned parallel engine
+//     agree on the optimal cost (and, between engine runs, on the exact
+//     hidden set, thanks to the deterministic lexicographic tie-break);
+//   - Greedy and LP-rounded solutions are always feasible, never cheaper
+//     than the optimum, and within the paper's approximation bounds —
+//     Multiplicity()×OPT for greedy on all-private instances (Theorem 7)
+//     and ℓmax×LP for the set-constraint rounding (Theorem 6 / B.5.1);
+//   - the LP optimum lower-bounds OPT (it is a relaxation);
+//   - the compiled integer-coded oracle agrees with the interpreted
+//     Lemma 4 semantics on EVERY subset of every generated module;
+//   - on instances small enough to enumerate, the assembled solution is
+//     Γ-workflow-private under exhaustive possible-world semantics
+//     (Theorems 4/8), and the worlds-grounded optimum never costs more
+//     than the assembly optimum.
+//
+// Any violated invariant lands in Result.Violations; a run over generated
+// corpora must come back with zero.
+package diff
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"secureview/internal/gen"
+	"secureview/internal/oracle"
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+	"secureview/internal/search"
+	"secureview/internal/secureview"
+	"secureview/internal/worlds"
+)
+
+// Options tunes the harness.
+type Options struct {
+	// RoundSeed seeds the randomized cardinality LP rounding (default 1).
+	RoundSeed int64
+	// ExactSetNodes caps the exact set-variant search (default 1<<22).
+	ExactSetNodes int
+	// ExactCardAttrs caps the exact cardinality enumeration (default 16).
+	ExactCardAttrs int
+	// WorldsAttrLimit gates exhaustive possible-world verification: it runs
+	// only when the workflow has at most this many attributes (default 11).
+	WorldsAttrLimit int
+	// WorldsBudget caps each worlds enumeration (default 1<<22).
+	WorldsBudget uint64
+	// Search tunes the engine runs (worker-pool size).
+	Search search.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.RoundSeed == 0 {
+		o.RoundSeed = 1
+	}
+	if o.ExactSetNodes == 0 {
+		o.ExactSetNodes = 1 << 22
+	}
+	if o.ExactCardAttrs == 0 {
+		o.ExactCardAttrs = 16
+	}
+	if o.WorldsAttrLimit == 0 {
+		o.WorldsAttrLimit = 11
+	}
+	if o.WorldsBudget == 0 {
+		o.WorldsBudget = 1 << 22
+	}
+	return o
+}
+
+// Result aggregates what a harness run did and every invariant it saw
+// violated. Results from many instances are combined with Merge.
+type Result struct {
+	// Instances counts instances examined; Exact counts those where at
+	// least one exact optimum was computed (the anchor for ratio checks).
+	Instances, Exact int
+	// SolverRuns counts individual solver invocations.
+	SolverRuns int
+	// OracleMasks counts compiled-vs-interpreted subsets compared.
+	OracleMasks int
+	// WorldsVerified counts instances whose solution survived exhaustive
+	// possible-world verification.
+	WorldsVerified int
+	// Skips counts checks skipped because an instance was infeasible at Γ,
+	// too large for an exact solver, or too large to enumerate worlds.
+	Skips int
+	// MaxGreedyRatio / MaxLPRatio track the worst observed approximation
+	// ratios (cost / exact optimum).
+	MaxGreedyRatio, MaxLPRatio float64
+	// Violations describes every failed invariant.
+	Violations []string
+}
+
+// Merge combines results.
+func Merge(rs ...Result) Result {
+	var out Result
+	for _, r := range rs {
+		out.Instances += r.Instances
+		out.Exact += r.Exact
+		out.SolverRuns += r.SolverRuns
+		out.OracleMasks += r.OracleMasks
+		out.WorldsVerified += r.WorldsVerified
+		out.Skips += r.Skips
+		if r.MaxGreedyRatio > out.MaxGreedyRatio {
+			out.MaxGreedyRatio = r.MaxGreedyRatio
+		}
+		if r.MaxLPRatio > out.MaxLPRatio {
+			out.MaxLPRatio = r.MaxLPRatio
+		}
+		out.Violations = append(out.Violations, r.Violations...)
+	}
+	return out
+}
+
+func (r *Result) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// eps returns an absolute tolerance scaled to the magnitude of float cost
+// comparisons.
+func eps(x float64) float64 { return 1e-6 * (1 + x) }
+
+// CheckProblem runs the full solver matrix on an abstract instance (both
+// constraint variants) and returns the differential result. The name tags
+// violations.
+func CheckProblem(name string, p *secureview.Problem, opts Options) Result {
+	opts = opts.withDefaults()
+	var r Result
+	r.Instances = 1
+	exactAnchored := false
+
+	allPrivate := true
+	for _, m := range p.Modules {
+		if m.Public {
+			allPrivate = false
+		}
+	}
+	mult := p.Multiplicity()
+
+	// --- set variant ---
+	if err := p.Validate(secureview.Set); err == nil {
+		exact, err := secureview.ExactSet(p, opts.ExactSetNodes)
+		r.SolverRuns++
+		if err != nil {
+			r.Skips++
+		} else {
+			exactAnchored = true
+			optCost := p.Cost(exact)
+			if !p.Feasible(exact, secureview.Set) {
+				r.violatef("%s: exact set solution infeasible", name)
+			}
+			r.checkHeuristics(name+"/set", p, secureview.Set, optCost, allPrivate, mult, opts)
+		}
+	}
+
+	// --- cardinality variant ---
+	if err := p.Validate(secureview.Cardinality); err == nil {
+		exact, errE := secureview.ExactCard(p, opts.ExactCardAttrs)
+		bb, errB := secureview.ExactCardBB(p, opts.ExactSetNodes)
+		r.SolverRuns += 2
+		switch {
+		case errE != nil || errB != nil:
+			r.Skips++
+		default:
+			exactAnchored = true
+			ce, cb := p.Cost(exact), p.Cost(bb)
+			if !p.Feasible(exact, secureview.Cardinality) {
+				r.violatef("%s: exact card solution infeasible", name)
+			}
+			if !p.Feasible(bb, secureview.Cardinality) {
+				r.violatef("%s: branch-and-bound solution infeasible", name)
+			}
+			if dx := ce - cb; dx > eps(ce) || -dx > eps(ce) {
+				r.violatef("%s: exact enumeration cost %g != branch-and-bound cost %g", name, ce, cb)
+			}
+			r.checkHeuristics(name+"/card", p, secureview.Cardinality, ce, allPrivate, mult, opts)
+		}
+	}
+
+	if exactAnchored {
+		r.Exact = 1
+	}
+	return r
+}
+
+// checkHeuristics runs Greedy and the variant's LP rounding against the
+// exact optimum and records feasibility, ordering and approximation-bound
+// violations on r.
+func (r *Result) checkHeuristics(name string, p *secureview.Problem, variant secureview.Variant,
+	optCost float64, allPrivate bool, mult int, opts Options) {
+	greedy := secureview.Greedy(p, variant)
+	r.SolverRuns++
+	gc := p.Cost(greedy)
+	if !p.Feasible(greedy, variant) {
+		r.violatef("%s: greedy solution infeasible", name)
+	}
+	if gc < optCost-eps(optCost) {
+		r.violatef("%s: greedy cost %g below optimum %g", name, gc, optCost)
+	}
+	if allPrivate && mult > 0 && gc > float64(mult)*optCost+eps(gc) {
+		r.violatef("%s: greedy cost %g exceeds Theorem 7 bound %d×%g", name, gc, mult, optCost)
+	}
+	if optCost > 0 && gc/optCost > r.MaxGreedyRatio {
+		r.MaxGreedyRatio = gc / optCost
+	}
+
+	var rounded secureview.Solution
+	var lpVal float64
+	var err error
+	if variant == secureview.Set {
+		rounded, lpVal, err = secureview.SetLPRound(p)
+	} else {
+		rounded, lpVal, err = secureview.CardinalityLPRound(p, secureview.RoundingOptions{
+			Trials: 5, Rng: rand.New(rand.NewSource(opts.RoundSeed)),
+		})
+	}
+	r.SolverRuns++
+	if err != nil {
+		r.violatef("%s: LP rounding failed: %v", name, err)
+		return
+	}
+	rc := p.Cost(rounded)
+	if !p.Feasible(rounded, variant) {
+		r.violatef("%s: LP-rounded solution infeasible", name)
+	}
+	if rc < optCost-eps(optCost) {
+		r.violatef("%s: LP-rounded cost %g below optimum %g", name, rc, optCost)
+	}
+	if lpVal > optCost+eps(optCost) {
+		r.violatef("%s: LP value %g exceeds optimum %g (not a relaxation?)", name, lpVal, optCost)
+	}
+	if variant == secureview.Set {
+		if lmax := p.LMax(secureview.Set); lmax > 0 && rc > float64(lmax)*lpVal+eps(rc) {
+			r.violatef("%s: rounded cost %g exceeds ℓmax bound %d×%g", name, rc, lmax, lpVal)
+		}
+	}
+	if optCost > 0 && rc/optCost > r.MaxLPRatio {
+		r.MaxLPRatio = rc / optCost
+	}
+}
+
+// CheckInstance runs the harness on a generated workflow instance: the
+// standalone engine matrix per private module, the derived set- and
+// cardinality-variant solver matrices, compiled-vs-interpreted oracle
+// agreement, and — when small enough — exhaustive possible-world
+// verification of the assembled optimum plus the worlds-vs-assembly cost
+// ordering.
+func CheckInstance(it *gen.Instance, opts Options) Result {
+	opts = opts.withDefaults()
+	var r Result
+	r.Instances = 1
+	name := fmt.Sprintf("%s/seed=%d", it.W.Name(), it.Seed)
+
+	r.checkStandalone(name, it, opts)
+
+	// Derived set-variant instance.
+	pset, errSet := it.Derive()
+	var exactSet secureview.Solution
+	haveExact := false
+	if errSet != nil {
+		if errors.Is(errSet, secureview.ErrInfeasible) {
+			r.Skips++ // no safe subset at Γ: legitimately skip
+		} else {
+			r.violatef("%s: derivation failed with a non-infeasibility error: %v", name, errSet)
+		}
+	} else {
+		var err error
+		exactSet, err = secureview.ExactSet(pset, opts.ExactSetNodes)
+		r.SolverRuns++
+		if err != nil {
+			r.Skips++
+		} else {
+			haveExact = true
+			r.Exact = 1
+			optCost := pset.Cost(exactSet)
+			allPrivate := len(it.W.PublicModules()) == 0
+			r.checkHeuristics(name+"/derived-set", pset, secureview.Set, optCost, allPrivate, pset.Multiplicity(), opts)
+		}
+	}
+
+	// Derived cardinality-variant instance.
+	if pcard, err := it.DeriveCard(); err == nil {
+		sub := CheckProblem(name+"/derived-card", cardOnly(pcard), opts)
+		sub.Instances, sub.Exact = 0, 0 // same instance, don't double count
+		r = Merge(r, sub)
+	} else if errors.Is(err, secureview.ErrInfeasible) {
+		r.Skips++
+	} else {
+		r.violatef("%s: cardinality derivation failed with a non-infeasibility error: %v", name, err)
+	}
+
+	if haveExact {
+		r.checkWorlds(name, it, pset, exactSet, opts)
+	}
+	return r
+}
+
+// cardOnly strips set lists so CheckProblem only exercises the cardinality
+// matrix (the derived card problem shares the workflow's set instance
+// otherwise).
+func cardOnly(p *secureview.Problem) *secureview.Problem {
+	q := &secureview.Problem{Costs: p.Costs}
+	for _, m := range p.Modules {
+		m.SetList = nil
+		q.Modules = append(q.Modules, m)
+	}
+	return q
+}
+
+// checkStandalone compares, for every private module of the instance, the
+// naive 2^k loop, the pruned engine and the compiled-oracle engine on the
+// standalone min-cost safe subset, and the compiled vs interpreted oracle
+// on every subset.
+func (r *Result) checkStandalone(name string, it *gen.Instance, opts Options) {
+	for _, m := range it.W.PrivateModules() {
+		if m.Arity() > 12 {
+			r.Skips++
+			continue
+		}
+		mv := privacy.NewModuleView(m)
+		sp, err := search.NewSpace(mv.Attrs(), it.Costs.Of)
+		if err != nil {
+			r.violatef("%s/%s: %v", name, m.Name(), err)
+			continue
+		}
+		interp := func(v search.Mask) (bool, error) { return mv.IsSafe(sp.NameSet(v), it.Gamma) }
+		naive, errN := sp.NaiveMinCost(interp)
+		engine, errE := sp.MinCost(interp, opts.Search)
+		r.SolverRuns += 2
+		if errN != nil || errE != nil {
+			r.violatef("%s/%s: standalone search failed: %v %v", name, m.Name(), errN, errE)
+			continue
+		}
+		if naive.Found != engine.Found {
+			r.violatef("%s/%s: naive found=%v but engine found=%v", name, m.Name(), naive.Found, engine.Found)
+			continue
+		}
+		if naive.Found && naive.Cost != engine.Cost {
+			r.violatef("%s/%s: naive optimum %g != engine optimum %g", name, m.Name(), naive.Cost, engine.Cost)
+		}
+
+		comp, err := mv.Compile()
+		if err != nil {
+			r.Skips++
+			continue
+		}
+		interpOracle := privacy.OracleFunc(func(v relation.NameSet) (bool, error) {
+			return mv.IsSafe(v, it.Gamma)
+		})
+		compOracle := privacy.OracleFunc(func(v relation.NameSet) (bool, error) {
+			return comp.IsSafe(comp.MaskOf(v), it.Gamma), nil
+		})
+		disagree, compared, err := privacy.OraclesAgree(mv.Attrs(), interpOracle, compOracle)
+		if err != nil {
+			r.violatef("%s/%s: oracle comparison failed: %v", name, m.Name(), err)
+			continue
+		}
+		r.OracleMasks += compared
+		if disagree != nil {
+			r.violatef("%s/%s: compiled oracle disagrees with Lemma 4 on %v", name, m.Name(), disagree)
+		}
+		compiled := func(v search.Mask) (bool, error) { return comp.IsSafe(oracle.Mask(v), it.Gamma), nil }
+		engineC, err := sp.MinCost(compiled, opts.Search)
+		r.SolverRuns++
+		if err != nil {
+			r.violatef("%s/%s: compiled engine search failed: %v", name, m.Name(), err)
+			continue
+		}
+		// Engine runs share the lexicographic tie-break, so the full result
+		// must match bit for bit.
+		if engineC.Found != engine.Found || engineC.Hidden != engine.Hidden || engineC.Cost != engine.Cost {
+			r.violatef("%s/%s: compiled engine optimum (found=%v hidden=%b cost=%g) != interpreted (found=%v hidden=%b cost=%g)",
+				name, m.Name(), engineC.Found, engineC.Hidden, engineC.Cost, engine.Found, engine.Hidden, engine.Cost)
+		}
+	}
+}
+
+// checkWorlds verifies the assembled optimum against exhaustive
+// possible-world semantics and cross-checks the worlds-grounded optimum's
+// cost, on instances small enough to enumerate.
+func (r *Result) checkWorlds(name string, it *gen.Instance, pset *secureview.Problem,
+	exact secureview.Solution, opts Options) {
+	if it.W.Schema().Len() > opts.WorldsAttrLimit {
+		r.Skips++
+		return
+	}
+	initial := relation.NewNameSet(it.W.InitialInputNames()...)
+	if len(exact.Hidden.Intersect(initial)) > 0 {
+		// The enumerator requires initial inputs visible (Definition 4
+		// fixes them); the assembly may legitimately hide one.
+		r.Skips++
+		return
+	}
+	rel, err := it.W.Relation(1 << 12)
+	if err != nil {
+		r.Skips++
+		return
+	}
+	visible := relation.NewNameSet(it.W.Schema().Names()...).Minus(exact.Hidden)
+	failed, err := worlds.VerifyPrivate(it.W, rel, visible, exact.Privatized, nil, it.Gamma, opts.WorldsBudget)
+	if err != nil {
+		if errors.Is(err, worlds.ErrBudgetExhausted) {
+			r.Skips++ // instance too large to enumerate within budget
+		} else {
+			r.violatef("%s: worlds verification failed with a non-budget error: %v", name, err)
+		}
+		return
+	}
+	if failed != "" {
+		r.violatef("%s: assembled optimum leaves %s not %d-workflow-private", name, failed, it.Gamma)
+		return
+	}
+	r.WorldsVerified++
+
+	// The worlds-grounded optimum can only be cheaper than the assembly
+	// optimum (Theorem 4 assembles SUFFICIENT conditions), comparable when
+	// nothing is privatized.
+	if len(it.W.PublicModules()) == 0 {
+		hp, err := it.HidingProblem(opts.WorldsBudget)
+		if err != nil {
+			r.Skips++
+			return
+		}
+		hidden, cost, found, _, err := hp.MinCostHiding(opts.Search)
+		r.SolverRuns++
+		if err != nil {
+			if errors.Is(err, worlds.ErrBudgetExhausted) {
+				r.Skips++
+			} else {
+				r.violatef("%s: worlds min-cost search failed with a non-budget error: %v", name, err)
+			}
+			return
+		}
+		if !found {
+			r.violatef("%s: worlds search found no safe hiding but assembly optimum %v is workflow-private",
+				name, exact.Hidden.Sorted())
+			return
+		}
+		assemblyCost := pset.Cost(exact)
+		if cost > assemblyCost+eps(assemblyCost) {
+			r.violatef("%s: worlds optimum %g (hide %v) costs MORE than assembly optimum %g (hide %v)",
+				name, cost, hidden.Sorted(), assemblyCost, exact.Hidden.Sorted())
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package diff
+
+import (
+	"sync"
+	"testing"
+
+	"secureview/internal/gen"
+	"secureview/internal/oracle"
+	"secureview/internal/privacy"
+	"secureview/internal/search"
+)
+
+// TestGeneratedSharedOracleRace is the differential race check: one
+// generated instance, one compiled oracle per private module, shared
+// simultaneously by several full engine runs (each with its own worker
+// pool). Under `go test -race` (the CI race step covers this package) any
+// unsynchronized state inside the compiled oracle or the engine shows up
+// here; without -race it still asserts that all concurrent runs return the
+// byte-identical optimum.
+func TestGeneratedSharedOracleRace(t *testing.T) {
+	it := gen.MustNew(gen.Config{Topology: gen.Layered, Layers: 2, Width: 2, FanIn: 2, FanOut: 2, Share: 2}, 5)
+	for _, m := range it.W.PrivateModules() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			mv := privacy.NewModuleView(m)
+			comp, err := mv.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := search.NewSpace(mv.Attrs(), it.Costs.Of)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled := func(v search.Mask) (bool, error) {
+				return comp.IsSafe(oracle.Mask(v), it.Gamma), nil
+			}
+			const concurrent = 6
+			results := make([]search.Result, concurrent)
+			errs := make([]error, concurrent)
+			var wg sync.WaitGroup
+			for i := 0; i < concurrent; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = sp.MinCost(compiled, search.Options{})
+				}(i)
+			}
+			wg.Wait()
+			for i := 1; i < concurrent; i++ {
+				if errs[i] != nil || errs[0] != nil {
+					t.Fatalf("run %d: %v / %v", i, errs[i], errs[0])
+				}
+				if results[i].Found != results[0].Found ||
+					results[i].Hidden != results[0].Hidden ||
+					results[i].Cost != results[0].Cost {
+					t.Fatalf("concurrent run %d optimum (found=%v hidden=%b cost=%g) != run 0 (found=%v hidden=%b cost=%g)",
+						i, results[i].Found, results[i].Hidden, results[i].Cost,
+						results[0].Found, results[0].Hidden, results[0].Cost)
+				}
+			}
+		})
+	}
+}

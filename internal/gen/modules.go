@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"math/rand"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+)
+
+// makeModule draws one module functionality of the configured kind over the
+// given attributes. MixedFuncs picks a kind per module; Injective falls
+// back to a random table when the output domain is smaller than the input
+// domain.
+func (b *builder) makeModule(name string, in, out []relation.Attribute) *module.Module {
+	kind := b.cfg.Funcs
+	if kind == MixedFuncs {
+		kind = []FuncKind{RandomTable, Injective, ConstantHeavy}[b.rng.Intn(3)]
+	}
+	switch kind {
+	case Injective:
+		if m := injectiveModule(name, in, out, b.rng); m != nil {
+			return m
+		}
+	case ConstantHeavy:
+		if m := constantHeavyModule(name, in, out, b.rng); m != nil {
+			return m
+		}
+	}
+	return module.Random(name, in, out, b.rng)
+}
+
+// tableSpaces returns the input and output domain products when both are
+// small enough to materialize (≤ 4096 inputs, ≤ 1<<20 outputs).
+func tableSpaces(in, out []relation.Attribute) (inSize, outSize uint64, ok bool) {
+	inSchema := relation.MustSchema(in...)
+	outSchema := relation.MustSchema(out...)
+	inSize, okI := inSchema.DomainProduct(inSchema.Names())
+	outSize, okO := outSchema.DomainProduct(outSchema.Names())
+	if !okI || !okO || inSize == 0 || inSize > 1<<12 || outSize > 1<<20 {
+		return 0, 0, false
+	}
+	return inSize, outSize, true
+}
+
+// injectiveModule builds a random injection Dom(I) ↪ Dom(O), or nil when
+// |Dom(O)| < |Dom(I)| (no injection exists) or the table would be too big.
+// With equal domain sizes the result is a uniformly random permutation.
+func injectiveModule(name string, in, out []relation.Attribute, rng *rand.Rand) *module.Module {
+	inSize, outSize, ok := tableSpaces(in, out)
+	if !ok || outSize < inSize {
+		return nil
+	}
+	inSchema := relation.MustSchema(in...)
+	outSchema := relation.MustSchema(out...)
+	perm := rng.Perm(int(outSize))
+	table := make([]relation.Tuple, inSize)
+	for i := range table {
+		table[i] = relation.Decode(outSchema, uint64(perm[i]))
+	}
+	return module.MustNew(name, in, out, func(x relation.Tuple) relation.Tuple {
+		return table[relation.Encode(inSchema, x)]
+	})
+}
+
+// constantHeavyModule maps every input to one of at most two output tuples,
+// biased 3:1 towards the first; with probability 1/2 (or a single-point
+// output domain) it degenerates to a constant function.
+func constantHeavyModule(name string, in, out []relation.Attribute, rng *rand.Rand) *module.Module {
+	inSize, outSize, ok := tableSpaces(in, out)
+	if !ok {
+		return nil
+	}
+	outSchema := relation.MustSchema(out...)
+	values := []relation.Tuple{relation.Decode(outSchema, uint64(rng.Intn(int(outSize))))}
+	if outSize > 1 && rng.Intn(2) == 1 {
+		for {
+			v := relation.Decode(outSchema, uint64(rng.Intn(int(outSize))))
+			if !v.Equal(values[0]) {
+				values = append(values, v)
+				break
+			}
+		}
+	}
+	inSchema := relation.MustSchema(in...)
+	table := make([]relation.Tuple, inSize)
+	for i := range table {
+		pick := 0
+		if len(values) == 2 && rng.Intn(4) == 0 {
+			pick = 1
+		}
+		table[i] = values[pick]
+	}
+	return module.MustNew(name, in, out, func(x relation.Tuple) relation.Tuple {
+		return table[relation.Encode(inSchema, x)]
+	})
+}

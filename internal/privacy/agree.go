@@ -1,0 +1,50 @@
+package privacy
+
+import (
+	"fmt"
+
+	"secureview/internal/relation"
+)
+
+// OracleFunc adapts a plain function to the SafeViewOracle interface, so
+// ad-hoc oracles (closures over a ModuleView, a compiled oracle, a mock)
+// can be compared or driven by the engine without a named type.
+type OracleFunc func(visible relation.NameSet) (bool, error)
+
+// IsSafe implements SafeViewOracle.
+func (f OracleFunc) IsSafe(visible relation.NameSet) (bool, error) { return f(visible) }
+
+// OraclesAgree exhaustively compares two Safe-View oracles over every
+// subset of attrs. disagree is the first visible set on which the two
+// return different verdicts, and is nil when they agree everywhere or when
+// an oracle errors (the erroring subset is reported inside err instead, so
+// a non-nil disagree ALWAYS means a semantic disagreement). compared counts
+// the subsets on which both oracles answered, the disagreeing one included.
+// Universes beyond 20 attributes (2^20 calls per oracle) are refused. The
+// differential harness uses it to pin the compiled integer-coded oracle
+// against the interpreted Lemma 4 semantics on every generated module.
+func OraclesAgree(attrs []string, a, b SafeViewOracle) (disagree relation.NameSet, compared int, err error) {
+	if len(attrs) > 20 {
+		return nil, 0, fmt.Errorf("privacy: %d attributes too many for exhaustive oracle comparison", len(attrs))
+	}
+	for mask := 0; mask < 1<<len(attrs); mask++ {
+		visible := make(relation.NameSet)
+		for i, name := range attrs {
+			if mask&(1<<i) != 0 {
+				visible.Add(name)
+			}
+		}
+		sa, err := a.IsSafe(visible)
+		if err != nil {
+			return nil, mask, fmt.Errorf("privacy: first oracle failed on %v: %w", visible, err)
+		}
+		sb, err := b.IsSafe(visible)
+		if err != nil {
+			return nil, mask, fmt.Errorf("privacy: second oracle failed on %v: %w", visible, err)
+		}
+		if sa != sb {
+			return visible, mask + 1, nil
+		}
+	}
+	return nil, 1 << len(attrs), nil
+}

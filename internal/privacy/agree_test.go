@@ -1,0 +1,64 @@
+package privacy
+
+import (
+	"testing"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+)
+
+// TestOraclesAgreeCompiledVsInterpreted pins the compiled integer-coded
+// oracle against the interpreted Lemma 4 semantics on every subset of
+// Figure 1's m1 attributes.
+func TestOraclesAgreeCompiledVsInterpreted(t *testing.T) {
+	mv := NewModuleView(module.Fig1M1())
+	comp, err := mv.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []uint64{2, 4, 8} {
+		gamma := gamma
+		interpreted := OracleFunc(func(v relation.NameSet) (bool, error) {
+			return mv.IsSafe(v, gamma)
+		})
+		compiled := OracleFunc(func(v relation.NameSet) (bool, error) {
+			return comp.IsSafe(comp.MaskOf(v), gamma), nil
+		})
+		disagree, compared, err := OraclesAgree(mv.Attrs(), interpreted, compiled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disagree != nil {
+			t.Fatalf("Γ=%d: oracles disagree on %v", gamma, disagree)
+		}
+		if compared != 1<<len(mv.Attrs()) {
+			t.Fatalf("Γ=%d: compared %d subsets, want %d", gamma, compared, 1<<len(mv.Attrs()))
+		}
+	}
+}
+
+// TestOraclesAgreeFindsDisagreement verifies the comparator actually
+// reports a mismatch and the witness set.
+func TestOraclesAgreeFindsDisagreement(t *testing.T) {
+	always := OracleFunc(func(relation.NameSet) (bool, error) { return true, nil })
+	exceptA := OracleFunc(func(v relation.NameSet) (bool, error) { return !v.Has("a"), nil })
+	disagree, _, err := OraclesAgree([]string{"a", "b"}, always, exceptA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disagree == nil || !disagree.Has("a") {
+		t.Fatalf("want a disagreement witness containing a, got %v", disagree)
+	}
+}
+
+// TestOraclesAgreeUniverseCap rejects universes too large to enumerate.
+func TestOraclesAgreeUniverseCap(t *testing.T) {
+	attrs := make([]string, 21)
+	for i := range attrs {
+		attrs[i] = string(rune('a' + i))
+	}
+	always := OracleFunc(func(relation.NameSet) (bool, error) { return true, nil })
+	if _, _, err := OraclesAgree(attrs, always, always); err == nil {
+		t.Fatal("want error for 21-attribute universe")
+	}
+}

@@ -1,6 +1,7 @@
 package secureview
 
 import (
+	"errors"
 	"fmt"
 
 	"secureview/internal/module"
@@ -8,6 +9,13 @@ import (
 	"secureview/internal/relation"
 	"secureview/internal/workflow"
 )
+
+// ErrInfeasible is wrapped (errors.Is-able) by Derive and DeriveCardProblem
+// when some private module has NO safe option at its Γ — the workflow is
+// genuinely infeasible at that requirement, as opposed to an internal
+// failure of the derivation itself. Harnesses use it to tell "legitimately
+// skip this instance" from "a derivation bug is being swallowed".
+var ErrInfeasible = errors.New("secureview: infeasible at Γ")
 
 // DeriveSet builds a Secure-View instance (set-constraints variant) from a
 // concrete workflow and privacy target Γ (Γ ≥ 1), following the assembly
@@ -147,7 +155,7 @@ func DeriveCardProblem(w *workflow.Workflow, gamma uint64, costs privacy.Costs, 
 			return nil, fmt.Errorf("secureview: module %s: %w", m.Name(), err)
 		}
 		if len(list) == 0 {
-			return nil, fmt.Errorf("secureview: module %s has no cardinality-safe pair for Γ=%d", m.Name(), gamma)
+			return nil, fmt.Errorf("secureview: module %s has no cardinality-safe pair for Γ=%d: %w", m.Name(), gamma, ErrInfeasible)
 		}
 		spec.CardList = list
 		p.Modules = append(p.Modules, spec)

@@ -113,7 +113,7 @@ func Derive(w *workflow.Workflow, opts DeriveOptions) (*Problem, error) {
 			return
 		}
 		if len(minimal) == 0 {
-			errs[i] = fmt.Errorf("secureview: module %s has no safe subset for Γ=%d", m.Name(), gamma)
+			errs[i] = fmt.Errorf("secureview: module %s has no safe subset for Γ=%d: %w", m.Name(), gamma, ErrInfeasible)
 			return
 		}
 		in := relation.NewNameSet(spec.Inputs...)

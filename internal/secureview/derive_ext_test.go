@@ -1,6 +1,7 @@
 package secureview
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -222,5 +223,20 @@ func TestDeriveWithCacheAmortizes(t *testing.T) {
 	sb, _ := ExactSet(b, 1<<20)
 	if a.Cost(sa) != b.Cost(sb) {
 		t.Fatal("cache changed the optimum")
+	}
+}
+
+// TestDeriveInfeasibleIsTyped pins the ErrInfeasible sentinel: a module
+// whose output range is smaller than Γ can never be safe, and both
+// derivations must report that as errors.Is-able infeasibility (the
+// differential harness distinguishes it from internal failures).
+func TestDeriveInfeasibleIsTyped(t *testing.T) {
+	w := workflow.MustNew("tiny", module.Identity("m", []string{"x"}, []string{"y"}))
+	costs := privacy.Uniform(w.Schema().Names()...)
+	if _, err := Derive(w, DeriveOptions{Gamma: 4, Costs: costs}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Derive: got %v, want ErrInfeasible", err)
+	}
+	if _, err := DeriveCardProblem(w, 4, costs, nil); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("DeriveCardProblem: got %v, want ErrInfeasible", err)
 	}
 }

@@ -187,6 +187,33 @@ func (p *Problem) DataSharing() int {
 	return max
 }
 
+// Multiplicity returns the maximum number of modules any single attribute
+// touches (as input OR output). For workflow-derived instances this is at
+// most γ+1 (one producer plus at most γ consumers, Definition 3), and it is
+// the exact constant in the Theorem 7 greedy analysis: on all-private
+// instances, Greedy costs at most Multiplicity()×OPT, because the optimum's
+// restriction to one module's attributes satisfies some option of that
+// module, and each optimal attribute is charged once per touching module.
+// The differential harness asserts that bound on every generated instance.
+func (p *Problem) Multiplicity() int {
+	counts := make(map[string]int)
+	for _, m := range p.Modules {
+		for _, a := range m.Inputs {
+			counts[a]++
+		}
+		for _, a := range m.Outputs {
+			counts[a]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
 // PrivateCount returns the number of private modules.
 func (p *Problem) PrivateCount() int {
 	n := 0

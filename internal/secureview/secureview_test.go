@@ -548,3 +548,31 @@ func TestExplainRejectsInfeasible(t *testing.T) {
 		t.Error("infeasible solution explained")
 	}
 }
+
+// TestMultiplicity checks the Theorem 7 charging constant: the maximum
+// number of modules any attribute touches as input or output.
+func TestMultiplicity(t *testing.T) {
+	p := &Problem{
+		Modules: []ModuleSpec{
+			{Name: "m1", Inputs: []string{"a"}, Outputs: []string{"b"},
+				SetList: []SetReq{{Out: []string{"b"}}}},
+			{Name: "m2", Inputs: []string{"b"}, Outputs: []string{"c"},
+				SetList: []SetReq{{Out: []string{"c"}}}},
+			{Name: "m3", Inputs: []string{"b", "c"}, Outputs: []string{"d"},
+				SetList: []SetReq{{Out: []string{"d"}}}},
+		},
+		Costs: privacy.Costs{"a": 1, "b": 1, "c": 1, "d": 1},
+	}
+	// b is produced by m1 and consumed by m2 and m3.
+	if got := p.Multiplicity(); got != 3 {
+		t.Fatalf("multiplicity %d, want 3", got)
+	}
+	// Consistency with DataSharing: multiplicity <= sharing + 1 when every
+	// attribute has at most one producer.
+	if p.Multiplicity() > p.DataSharing()+1 {
+		t.Fatalf("multiplicity %d exceeds γ+1=%d", p.Multiplicity(), p.DataSharing()+1)
+	}
+	if got := (&Problem{}).Multiplicity(); got != 0 {
+		t.Fatalf("empty problem multiplicity %d, want 0", got)
+	}
+}

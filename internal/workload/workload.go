@@ -1,6 +1,12 @@
 // Package workload generates synthetic workflows and Secure-View instances
 // for averaged experiments: layered DAGs of random boolean modules with
 // controllable data sharing, and random requirement-list instances.
+//
+// It predates internal/gen, which supersedes it for new code: gen adds
+// topology classes, Share caps, domain sizes, function kinds, cost models
+// and byte-identical canonical serialization. workload stays as-is because
+// E19 and several tests are seeded against its exact rand streams; folding
+// it into gen is a ROADMAP item.
 package workload
 
 import (

@@ -1,0 +1,33 @@
+package worlds
+
+import (
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+// VerifyPrivate checks Γ-workflow-privacy (Definition 5) for every target
+// module by exhaustive possible-world enumeration and returns the first
+// module that fails, or "" when all pass. Empty targets means every private
+// module of w. This is the semantic ground truth the assembly theorems
+// (4/8) are checked against: the differential harness and the end-to-end
+// tests run solver outputs through it on instances small enough to
+// enumerate. A zero budget uses the Enumerator default.
+func VerifyPrivate(w *workflow.Workflow, r *relation.Relation, visible relation.NameSet,
+	privatized relation.NameSet, targets []string, gamma uint64, budget uint64) (failed string, err error) {
+	if len(targets) == 0 {
+		for _, m := range w.PrivateModules() {
+			targets = append(targets, m.Name())
+		}
+	}
+	e := &Enumerator{W: w, R: r, Visible: visible, Privatized: privatized, Budget: budget}
+	for _, name := range targets {
+		ok, err := e.IsWorkflowPrivate(name, gamma)
+		if err != nil {
+			return name, err
+		}
+		if !ok {
+			return name, nil
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,68 @@
+package worlds
+
+import (
+	"testing"
+
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+// TestVerifyPrivateMatchesEnumerator cross-checks the convenience wrapper
+// against direct per-module IsWorkflowPrivate calls on Figure 1.
+func TestVerifyPrivateMatchesEnumerator(t *testing.T) {
+	w := workflow.Fig1()
+	r := w.MustRelation()
+	all := relation.NewNameSet(w.Schema().Names()...)
+	for _, tc := range []struct {
+		name   string
+		hidden []string
+	}{
+		{"hide-a4-a6", []string{"a4", "a6"}},
+		{"hide-a3", []string{"a3"}},
+		{"hide-nothing", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			visible := all.Minus(relation.NewNameSet(tc.hidden...))
+			failed, err := VerifyPrivate(w, r, visible, nil, nil, 2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := &Enumerator{W: w, R: r, Visible: visible}
+			wantFailed := ""
+			for _, m := range w.PrivateModules() {
+				ok, err := e.IsWorkflowPrivate(m.Name(), 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					wantFailed = m.Name()
+					break
+				}
+			}
+			if failed != wantFailed {
+				t.Fatalf("VerifyPrivate failed=%q, direct enumeration failed=%q", failed, wantFailed)
+			}
+		})
+	}
+}
+
+// TestVerifyPrivateExplicitTargets restricts verification to a subset of
+// modules.
+func TestVerifyPrivateExplicitTargets(t *testing.T) {
+	w := workflow.Fig1()
+	r := w.MustRelation()
+	all := relation.NewNameSet(w.Schema().Names()...)
+	visible := all.Minus(relation.NewNameSet("a4", "a6"))
+	failed, err := VerifyPrivate(w, r, visible, nil, []string{"m1"}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Enumerator{W: w, R: r, Visible: visible}
+	ok, err := e.IsWorkflowPrivate("m1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != (failed == "") {
+		t.Fatalf("targeted VerifyPrivate failed=%q, IsWorkflowPrivate=%v", failed, ok)
+	}
+}
