@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,16 +28,34 @@ func main() {
 		quick     = flag.Bool("quick", false, "trim parameter sweeps")
 		parallel  = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
 		benchjson = flag.String("benchjson", "", "write machine-readable benchmark results to this JSON file and exit")
+		timeout   = flag.Duration("timeout", 0, "overall deadline (0 = none); on expiry the experiments completed so far stand as partial results")
 	)
 	flag.Parse()
 	search.SetDefaultParallelism(*parallel)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *benchjson != "" {
-		if err := writeBenchJSON(*benchjson, *quick); err != nil {
-			fmt.Fprintf(os.Stderr, "secureview-bench: %v\n", err)
-			os.Exit(1)
+		// The writer only lands the file at the very end, so there is no
+		// partial output to keep: an expired deadline simply abandons the run.
+		done := make(chan error, 1)
+		go func() { done <- writeBenchJSON(*benchjson, *quick) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "secureview-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *benchjson)
+		case <-ctx.Done():
+			fmt.Fprintf(os.Stderr, "secureview-bench: TIMED OUT after %v — %s not written\n", *timeout, *benchjson)
+			os.Exit(3)
 		}
-		fmt.Printf("wrote %s\n", *benchjson)
 		return
 	}
 
@@ -49,10 +68,22 @@ func main() {
 		}
 		experiments = []exp.Experiment{*e}
 	}
-	for _, e := range experiments {
+	for i, e := range experiments {
 		fmt.Printf("# %s — %s\n\n", e.ID, e.Title)
-		for _, tab := range e.Run(*quick) {
-			fmt.Println(tab.String())
+		// Each experiment runs on its own goroutine so an expired deadline
+		// surfaces between (not inside) experiments with a clean partial
+		// message; the tables already printed are complete.
+		done := make(chan []*exp.Table, 1)
+		go func() { done <- e.Run(*quick) }()
+		select {
+		case tables := <-done:
+			for _, tab := range tables {
+				fmt.Println(tab.String())
+			}
+		case <-ctx.Done():
+			fmt.Printf("TIMED OUT after %v — completed %d/%d experiments; tables above are complete partial results\n",
+				*timeout, i, len(experiments))
+			os.Exit(3)
 		}
 	}
 }

@@ -2,27 +2,31 @@
 // description of modules, requirement lists and costs, it prints the
 // minimum-cost (or approximate) set of attributes to hide and public
 // modules to privatize so that every private module stays Γ-private.
+// Solvers are resolved through the internal/solve registry.
 //
 // Usage:
 //
 //	secureview -demo                      # print an example instance
-//	secureview -in instance.json          # solve (exact branch and bound)
+//	secureview -in instance.json          # solve (exact)
 //	secureview -in instance.json -solver lp -variant set
 //	secureview -in instance.json -solver greedy -variant cardinality
+//	secureview -in instance.json -solver bb -timeout 2s
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	"secureview/internal/privacy"
 	"secureview/internal/provenance"
 	"secureview/internal/search"
 	"secureview/internal/secureview"
+	"secureview/internal/solve"
 	"secureview/internal/spec"
 )
 
@@ -86,11 +90,12 @@ func main() {
 	var (
 		inPath   = flag.String("in", "", "instance JSON file (- for stdin)")
 		wfPath   = flag.String("wf", "", "workflow spec JSON file (see internal/spec); derives and solves")
-		solver   = flag.String("solver", "exact", "exact | greedy | lp")
+		solver   = flag.String("solver", "exact", fmt.Sprintf("one of %v (internal/solve registry); -wf mode supports exact | greedy | lp", solve.Names()))
 		variant  = flag.String("variant", "set", "set | cardinality")
 		showDemo = flag.Bool("demo", false, "print an example instance and exit")
 		seed     = flag.Int64("seed", 1, "randomized-rounding seed (cardinality lp)")
 		parallel = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "-in solve deadline (0 = none); on expiry the best incumbent, if any, is printed as a partial result")
 	)
 	flag.Parse()
 	search.SetDefaultParallelism(*parallel)
@@ -101,6 +106,9 @@ func main() {
 		return
 	}
 	if *wfPath != "" {
+		if *timeout > 0 {
+			fmt.Fprintln(os.Stderr, "secureview: note: -timeout applies to -in instance solving; -wf mode runs unbounded")
+		}
 		runWorkflowMode(*wfPath, *solver)
 		return
 	}
@@ -137,30 +145,28 @@ func main() {
 		fatal(err)
 	}
 
-	var sol secureview.Solution
-	var lpVal float64
-	switch *solver {
-	case "exact":
-		if v == secureview.Set {
-			sol, err = secureview.ExactSet(p, 1<<24)
-		} else {
-			sol, err = secureview.ExactCard(p, 22)
-		}
-	case "greedy":
-		sol = secureview.Greedy(p, v)
-	case "lp":
-		if v == secureview.Set {
-			sol, lpVal, err = secureview.SetLPRound(p)
-		} else {
-			sol, lpVal, err = secureview.CardinalityLPRound(p,
-				secureview.RoundingOptions{Trials: 9, Rng: rand.New(rand.NewSource(*seed))})
-		}
+	res, err := solve.Solve(context.Background(), *solver, p, solve.Options{
+		Variant:    v,
+		NodeBudget: 1 << 24,
+		MaxAttrs:   22,
+		Workers:    *parallel,
+		Seed:       *seed,
+		Trials:     9,
+		Timeout:    *timeout,
+	})
+	partial := false
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded) && res.Partial:
+		// Deadline hit, but the solver carried a feasible incumbent out.
+		fmt.Printf("TIMED OUT after %v — printing the best incumbent found so far (not proven optimal)\n", *timeout)
+		partial = true
+	case errors.Is(err, context.DeadlineExceeded):
+		fatal(fmt.Errorf("timed out after %v with no feasible incumbent", *timeout))
 	default:
-		err = fmt.Errorf("unknown solver %q", *solver)
-	}
-	if err != nil {
 		fatal(err)
 	}
+	sol := res.Solution
 	if !p.Feasible(sol, v) {
 		fatal(fmt.Errorf("internal error: solution infeasible"))
 	}
@@ -171,15 +177,26 @@ func main() {
 	fmt.Printf("ℓmax:         %d\n", p.LMax(v))
 	fmt.Printf("hide:         %s\n", sol.Hidden)
 	fmt.Printf("privatize:    %s\n", sol.Privatized)
-	fmt.Printf("total cost:   %.4g\n", p.Cost(sol))
-	if lpVal > 0 {
-		fmt.Printf("LP bound:     %.4g (cost/LP = %.3f)\n", lpVal, p.Cost(sol)/lpVal)
+	fmt.Printf("total cost:   %.4g\n", res.Cost)
+	switch {
+	case partial:
+		fmt.Printf("status:       partial (deadline exceeded)\n")
+	case res.Optimal:
+		fmt.Printf("status:       optimal (%s)\n", res.Bound.Theorem)
+	case res.Bound.Theorem != "":
+		fmt.Printf("status:       approximate, factor %.4g (%s)\n", res.Bound.Factor, res.Bound.Theorem)
+	}
+	if res.Bound.LP > 0 {
+		fmt.Printf("LP bound:     %.4g (cost/LP = %.3f)\n", res.Bound.LP, res.Cost/res.Bound.LP)
 	}
 	if e, err := secureview.Explain(p, sol, v); err == nil {
 		fmt.Printf("explanation:\n")
 		for _, line := range e.Lines {
 			fmt.Printf("  %s\n", line)
 		}
+	}
+	if partial {
+		os.Exit(3) // distinguishable from success and from hard failure
 	}
 }
 

@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	worlds -fig1             # Example 2/3: world count and OUT sets for m1
-//	worlds -prop2 -k 2       # Proposition 2 counts for k-bit chains
+//	worlds -fig1                  # Example 2/3: world count and OUT sets for m1
+//	worlds -prop2 -k 2            # Proposition 2 counts for k-bit chains
+//	worlds -prop2 -k 3 -timeout 1s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"secureview/internal/module"
 	"secureview/internal/privacy"
@@ -26,13 +30,20 @@ func main() {
 		prop2    = flag.Bool("prop2", false, "run the Proposition 2 counts")
 		k        = flag.Int("k", 2, "bit width for -prop2")
 		parallel = flag.Int("parallel", 0, "world-enumeration worker count (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "enumeration deadline (0 = none); on expiry partial results printed so far stand")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	switch {
 	case *fig1:
 		runFig1()
 	case *prop2:
-		runProp2(*k, *parallel)
+		runProp2(ctx, *k, *parallel, *timeout)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -65,7 +76,17 @@ func runFig1() {
 	})
 }
 
-func runProp2(k, parallel int) {
+func runProp2(ctx context.Context, k, parallel int, timeout time.Duration) {
+	// expired reports a clean partial-result message on deadline expiry:
+	// everything printed before the cancelled stage stands, and the stage
+	// that was interrupted is named.
+	expired := func(stage string, err error) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Printf("TIMED OUT after %v during %s — results above are complete, later stages were skipped\n", timeout, stage)
+			os.Exit(3)
+		}
+		fatal(err)
+	}
 	if k < 1 || k > 3 {
 		fatal(fmt.Errorf("k must be in [1,3] (enumeration is doubly exponential)"))
 	}
@@ -82,27 +103,27 @@ func runProp2(k, parallel int) {
 	solo := workflow.MustNew("solo", module.Identity("m1", bits(0), bits(1)))
 	hidden := relation.NewNameSet(fmt.Sprintf("x1_%d", 0))
 
+	fmt.Printf("k=%d, Γ=2, hidden=%s\n", k, hidden)
 	es := &worlds.Enumerator{W: solo, R: solo.MustRelation(),
 		Visible: relation.NewNameSet(solo.Schema().Names()...).Minus(hidden),
 		Workers: parallel}
-	nStand, err := es.Count()
+	nStand, err := es.CountCtx(ctx)
 	if err != nil {
-		fatal(err)
+		expired("standalone world count", err)
 	}
+	fmt.Printf("standalone worlds: %d (formula Γ^(2^k))\n", nStand)
 	ew := &worlds.Enumerator{W: w, R: w.MustRelation(),
 		Visible: relation.NewNameSet(w.Schema().Names()...).Minus(hidden),
 		Workers: parallel}
-	nWork, err := ew.Count()
+	nWork, err := ew.CountCtx(ctx)
 	if err != nil {
-		fatal(err)
+		expired("workflow world count", err)
 	}
-	fmt.Printf("k=%d, Γ=2, hidden=%s\n", k, hidden)
-	fmt.Printf("standalone worlds: %d (formula Γ^(2^k))\n", nStand)
 	fmt.Printf("workflow worlds:   %d (formula (Γ!)^(2^k/Γ))\n", nWork)
 	fmt.Printf("ratio:             %.4g\n", float64(nStand)/float64(nWork))
-	private, err := ew.IsWorkflowPrivate("m1", 2)
+	private, err := ew.IsWorkflowPrivateCtx(ctx, "m1", 2)
 	if err != nil {
-		fatal(err)
+		expired("workflow-privacy check", err)
 	}
 	fmt.Printf("m1 2-workflow-private: %v (privacy survives the collapse)\n", private)
 }

@@ -20,7 +20,16 @@
 //	                     cost-ordered exploration, worker pool, memoized oracles
 //	internal/worlds      possible-world semantics, FLIP, sharded parallel
 //	                     enumeration with bitset OUT sets
-//	internal/secureview  the Secure-View optimization (sections 4–5)
+//	internal/secureview  the Secure-View optimization (sections 4–5);
+//	                     context-cancellable exact/BB/greedy/LP solvers with
+//	                     the typed ErrNodeBudget budget sentinel
+//	internal/solve       unified solver layer: Solver registry over all five
+//	                     code paths with uniform Options and bound-certified
+//	                     Results, fingerprint-keyed Session caches (derived
+//	                     problems, compiled oracle tables) shared across
+//	                     goroutines, SolveBatch worker-pool front-end with
+//	                     per-job deadlines; every solver observes ctx within
+//	                     one pruning epoch
 //	internal/lp          two-phase simplex (substrate)
 //	internal/sat         CNF + DPLL (substrate for Theorem 2)
 //	internal/combopt     set/vertex/label cover (reduction sources)

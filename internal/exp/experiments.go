@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 	"secureview/internal/sat"
 	"secureview/internal/search"
 	"secureview/internal/secureview"
+	"secureview/internal/solve"
 	"secureview/internal/workflow"
 	"secureview/internal/workload"
 	"secureview/internal/worlds"
@@ -927,6 +929,10 @@ func runE22(quick bool) []*Table {
 	if quick {
 		workflowSeeds, problemSeeds = 2, 6
 	}
+	// One solve.Session across the sweep: the harness runs entirely through
+	// the internal/solve registry, and derivations/compiled oracles are
+	// shared across instances the way a long-lived service would share them.
+	sess := solve.NewSession()
 	t1 := &Table{
 		Title:  "E22a: differential harness over generated workflow classes",
 		Header: []string{"class", "instances", "exact", "solver runs", "oracle masks", "worlds verified", "max greedy/OPT", "max LP/OPT", "violations"},
@@ -939,7 +945,7 @@ func runE22(quick bool) []*Table {
 				t1.Note("%s seed %d: %v", cl.Name, seed, err)
 				continue
 			}
-			rs = append(rs, diff.CheckInstance(it, diff.Options{}))
+			rs = append(rs, diff.CheckInstance(it, diff.Options{Session: sess}))
 		}
 		r := diff.Merge(rs...)
 		t1.Add(cl.Name, r.Instances, r.Exact, r.SolverRuns, r.OracleMasks,
@@ -975,12 +981,17 @@ func runE22(quick bool) []*Table {
 // runE23 times the solver matrix across generated instance SHAPES — the
 // scenario counterpart of E19's size scaling: the same solvers meet chains,
 // trees and layered DAGs with different sharing, function kinds and cost
-// models, instead of one hand-written family.
+// models, instead of one hand-written family. Every solver runs through the
+// internal/solve registry; derivations go through a shared solve.Session
+// (each (class, seed) is a distinct fingerprint, so the timed calls are all
+// cache misses — the session is exercised, not flattered).
 func runE23(quick bool) []*Table {
 	reps := 3
 	if quick {
 		reps = 1
 	}
+	ctx := context.Background()
+	sess := solve.NewSession()
 	t := &Table{
 		Title:  "E23: solver wall-clock across generated topology classes (medians over seeds)",
 		Header: []string{"class", "modules", "attrs", "γ", "ℓmax", "derive ms", "greedy ms", "LP ms", "exact ms", "exact<=greedy"},
@@ -1000,30 +1011,31 @@ func runE23(quick bool) []*Table {
 			attrsR.add(it.W.Schema().Len())
 			gamma = it.Gamma
 			start := time.Now()
-			p, err := it.Derive()
+			p, err := sess.Problem(ctx, it.W, secureview.Set, it.Gamma, it.Costs, it.PrivatizeCosts)
 			deriveMS = append(deriveMS, float64(time.Since(start).Microseconds())/1000)
 			if err != nil {
 				continue
 			}
 			lmaxR.add(p.LMax(secureview.Set))
+			sOpts := solve.Options{Variant: secureview.Set}
 
 			start = time.Now()
-			greedy := secureview.Greedy(p, secureview.Set)
+			greedy, gErr := solve.Solve(ctx, "greedy", p, sOpts)
 			greedyMS = append(greedyMS, float64(time.Since(start).Microseconds())/1000)
 
 			start = time.Now()
-			_, _, lpErr := secureview.SetLPRound(p)
+			_, lpErr := solve.Solve(ctx, "lp", p, sOpts)
 			lpMS = append(lpMS, float64(time.Since(start).Microseconds())/1000)
 
 			start = time.Now()
-			exact, exErr := secureview.ExactSet(p, 1<<22)
+			exact, exErr := solve.Solve(ctx, "exact", p, sOpts)
 			exactMS = append(exactMS, float64(time.Since(start).Microseconds())/1000)
-			if lpErr != nil || exErr != nil {
-				t.Note("%s seed %d: lp=%v exact=%v", cl.Name, seed, lpErr, exErr)
+			if gErr != nil || lpErr != nil || exErr != nil {
+				t.Note("%s seed %d: greedy=%v lp=%v exact=%v", cl.Name, seed, gErr, lpErr, exErr)
 				continue
 			}
 			compared++
-			if p.Cost(exact) > p.Cost(greedy)+1e-9*(1+p.Cost(greedy)) {
+			if exact.Cost > greedy.Cost+1e-9*(1+greedy.Cost) {
 				agree = false
 			}
 		}

@@ -1,6 +1,7 @@
 // Package diff is the cross-solver differential harness over generated
 // Secure-View instances (internal/gen): it runs every applicable solver on
-// each instance and checks the invariants the paper's theorems promise —
+// each instance — through the internal/solve registry — and checks the
+// invariants the paper's theorems promise:
 //
 //   - exact enumeration, branch-and-bound and the pruned parallel engine
 //     agree on the optimal cost (and, between engine runs, on the exact
@@ -17,14 +18,21 @@
 //     (Theorems 4/8), and the worlds-grounded optimum never costs more
 //     than the assembly optimum.
 //
+// Exact solvers that exhaust their budgets must say so with the typed
+// secureview.ErrNodeBudget (or report a genuinely infeasible derivation
+// with secureview.ErrInfeasible): those are counted as skips, as is
+// context cancellation of a ...Ctx run (a torn-down harness returns a
+// clean, incomplete Result), while any other failure is a violation — a
+// harness that silently skips on arbitrary errors verifies nothing.
+//
 // Any violated invariant lands in Result.Violations; a run over generated
 // corpora must come back with zero.
 package diff
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"secureview/internal/gen"
 	"secureview/internal/oracle"
@@ -32,6 +40,7 @@ import (
 	"secureview/internal/relation"
 	"secureview/internal/search"
 	"secureview/internal/secureview"
+	"secureview/internal/solve"
 	"secureview/internal/worlds"
 )
 
@@ -50,6 +59,10 @@ type Options struct {
 	WorldsBudget uint64
 	// Search tunes the engine runs (worker-pool size).
 	Search search.Options
+	// Session, when non-nil, shares derived problems and compiled oracle
+	// tables across instances and harness runs (nil runs a private session
+	// per instance).
+	Session *solve.Session
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +82,18 @@ func (o Options) withDefaults() Options {
 		o.WorldsBudget = 1 << 22
 	}
 	return o
+}
+
+// solveOptions maps harness knobs onto the registry's uniform Options.
+func (o Options) solveOptions(v secureview.Variant) solve.Options {
+	return solve.Options{
+		Variant:    v,
+		NodeBudget: o.ExactSetNodes,
+		MaxAttrs:   o.ExactCardAttrs,
+		Workers:    o.Search.Parallelism,
+		Seed:       o.RoundSeed,
+		Trials:     5,
+	}
 }
 
 // Result aggregates what a harness run did and every invariant it saw
@@ -119,14 +144,39 @@ func (r *Result) violatef(format string, args ...any) {
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
 }
 
+// cancelled reports a context-cancellation error: a caller tearing the
+// harness down mid-run must get a clean (if incomplete) Result, not
+// spurious violations.
+func cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// skipOrViolate classifies a solver error: typed budget exhaustion and
+// context cancellation are legitimate skips, anything else is a harness
+// violation.
+func (r *Result) skipOrViolate(name, what string, err error) {
+	if errors.Is(err, secureview.ErrNodeBudget) || cancelled(err) {
+		r.Skips++
+		return
+	}
+	r.violatef("%s: %s failed with a non-budget error: %v", name, what, err)
+}
+
 // eps returns an absolute tolerance scaled to the magnitude of float cost
 // comparisons.
 func eps(x float64) float64 { return 1e-6 * (1 + x) }
 
 // CheckProblem runs the full solver matrix on an abstract instance (both
 // constraint variants) and returns the differential result. The name tags
-// violations.
+// violations. It is CheckProblemCtx without cancellation.
 func CheckProblem(name string, p *secureview.Problem, opts Options) Result {
+	return CheckProblemCtx(context.Background(), name, p, opts)
+}
+
+// CheckProblemCtx runs the solver matrix through the internal/solve
+// registry with the given context, which every solver observes within one
+// pruning epoch.
+func CheckProblemCtx(ctx context.Context, name string, p *secureview.Problem, opts Options) Result {
 	opts = opts.withDefaults()
 	var r Result
 	r.Instances = 1
@@ -142,41 +192,46 @@ func CheckProblem(name string, p *secureview.Problem, opts Options) Result {
 
 	// --- set variant ---
 	if err := p.Validate(secureview.Set); err == nil {
-		exact, err := secureview.ExactSet(p, opts.ExactSetNodes)
+		exact, err := solve.Solve(ctx, "exact", p, opts.solveOptions(secureview.Set))
 		r.SolverRuns++
 		if err != nil {
-			r.Skips++
+			r.skipOrViolate(name, "exact set solver", err)
 		} else {
 			exactAnchored = true
-			optCost := p.Cost(exact)
-			if !p.Feasible(exact, secureview.Set) {
+			if !p.Feasible(exact.Solution, secureview.Set) {
 				r.violatef("%s: exact set solution infeasible", name)
 			}
-			r.checkHeuristics(name+"/set", p, secureview.Set, optCost, allPrivate, mult, opts)
+			r.checkEngine(ctx, name+"/set", p, secureview.Set, exact.Cost, opts)
+			r.checkHeuristics(ctx, name+"/set", p, secureview.Set, exact.Cost, allPrivate, mult, opts)
 		}
 	}
 
 	// --- cardinality variant ---
 	if err := p.Validate(secureview.Cardinality); err == nil {
-		exact, errE := secureview.ExactCard(p, opts.ExactCardAttrs)
-		bb, errB := secureview.ExactCardBB(p, opts.ExactSetNodes)
+		exact, errE := solve.Solve(ctx, "exact", p, opts.solveOptions(secureview.Cardinality))
+		bb, errB := solve.Solve(ctx, "bb", p, opts.solveOptions(secureview.Cardinality))
 		r.SolverRuns += 2
 		switch {
 		case errE != nil || errB != nil:
-			r.Skips++
+			if errE != nil {
+				r.skipOrViolate(name, "exact card solver", errE)
+			}
+			if errB != nil {
+				r.skipOrViolate(name, "branch-and-bound solver", errB)
+			}
 		default:
 			exactAnchored = true
-			ce, cb := p.Cost(exact), p.Cost(bb)
-			if !p.Feasible(exact, secureview.Cardinality) {
+			if !p.Feasible(exact.Solution, secureview.Cardinality) {
 				r.violatef("%s: exact card solution infeasible", name)
 			}
-			if !p.Feasible(bb, secureview.Cardinality) {
+			if !p.Feasible(bb.Solution, secureview.Cardinality) {
 				r.violatef("%s: branch-and-bound solution infeasible", name)
 			}
-			if dx := ce - cb; dx > eps(ce) || -dx > eps(ce) {
-				r.violatef("%s: exact enumeration cost %g != branch-and-bound cost %g", name, ce, cb)
+			if dx := exact.Cost - bb.Cost; dx > eps(exact.Cost) || -dx > eps(exact.Cost) {
+				r.violatef("%s: exact enumeration cost %g != branch-and-bound cost %g", name, exact.Cost, bb.Cost)
 			}
-			r.checkHeuristics(name+"/card", p, secureview.Cardinality, ce, allPrivate, mult, opts)
+			r.checkEngine(ctx, name+"/card", p, secureview.Cardinality, exact.Cost, opts)
+			r.checkHeuristics(ctx, name+"/card", p, secureview.Cardinality, exact.Cost, allPrivate, mult, opts)
 		}
 	}
 
@@ -186,15 +241,50 @@ func CheckProblem(name string, p *secureview.Problem, opts Options) Result {
 	return r
 }
 
+// checkEngine cross-checks the subset-search engine solver against the
+// exact optimum whenever the instance is in its capability envelope
+// (all-private, universe within the mask width).
+func (r *Result) checkEngine(ctx context.Context, name string, p *secureview.Problem,
+	variant secureview.Variant, optCost float64, opts Options) {
+	eng, ok := solve.Get("engine")
+	if !ok || eng.Supports(p, variant) != nil {
+		return
+	}
+	res, err := solve.Solve(ctx, "engine", p, opts.solveOptions(variant))
+	r.SolverRuns++
+	if err != nil {
+		if cancelled(err) {
+			r.Skips++
+			return
+		}
+		r.violatef("%s: engine solver failed: %v", name, err)
+		return
+	}
+	if !p.Feasible(res.Solution, variant) {
+		r.violatef("%s: engine solution infeasible", name)
+	}
+	if dx := res.Cost - optCost; dx > eps(optCost) || -dx > eps(optCost) {
+		r.violatef("%s: engine cost %g != exact optimum %g", name, res.Cost, optCost)
+	}
+}
+
 // checkHeuristics runs Greedy and the variant's LP rounding against the
 // exact optimum and records feasibility, ordering and approximation-bound
 // violations on r.
-func (r *Result) checkHeuristics(name string, p *secureview.Problem, variant secureview.Variant,
-	optCost float64, allPrivate bool, mult int, opts Options) {
-	greedy := secureview.Greedy(p, variant)
+func (r *Result) checkHeuristics(ctx context.Context, name string, p *secureview.Problem,
+	variant secureview.Variant, optCost float64, allPrivate bool, mult int, opts Options) {
+	greedy, err := solve.Solve(ctx, "greedy", p, opts.solveOptions(variant))
 	r.SolverRuns++
-	gc := p.Cost(greedy)
-	if !p.Feasible(greedy, variant) {
+	if err != nil {
+		if cancelled(err) {
+			r.Skips++
+			return
+		}
+		r.violatef("%s: greedy solver failed: %v", name, err)
+		return
+	}
+	gc := greedy.Cost
+	if !p.Feasible(greedy.Solution, variant) {
 		r.violatef("%s: greedy solution infeasible", name)
 	}
 	if gc < optCost-eps(optCost) {
@@ -203,27 +293,26 @@ func (r *Result) checkHeuristics(name string, p *secureview.Problem, variant sec
 	if allPrivate && mult > 0 && gc > float64(mult)*optCost+eps(gc) {
 		r.violatef("%s: greedy cost %g exceeds Theorem 7 bound %d×%g", name, gc, mult, optCost)
 	}
+	if greedy.Bound.Factor > 0 && optCost > 0 && gc > greedy.Bound.Factor*optCost+eps(gc) {
+		r.violatef("%s: greedy cost %g exceeds its own certificate %g×%g (%s)",
+			name, gc, greedy.Bound.Factor, optCost, greedy.Bound.Theorem)
+	}
 	if optCost > 0 && gc/optCost > r.MaxGreedyRatio {
 		r.MaxGreedyRatio = gc / optCost
 	}
 
-	var rounded secureview.Solution
-	var lpVal float64
-	var err error
-	if variant == secureview.Set {
-		rounded, lpVal, err = secureview.SetLPRound(p)
-	} else {
-		rounded, lpVal, err = secureview.CardinalityLPRound(p, secureview.RoundingOptions{
-			Trials: 5, Rng: rand.New(rand.NewSource(opts.RoundSeed)),
-		})
-	}
+	rounded, err := solve.Solve(ctx, "lp", p, opts.solveOptions(variant))
 	r.SolverRuns++
 	if err != nil {
+		if cancelled(err) {
+			r.Skips++
+			return
+		}
 		r.violatef("%s: LP rounding failed: %v", name, err)
 		return
 	}
-	rc := p.Cost(rounded)
-	if !p.Feasible(rounded, variant) {
+	rc, lpVal := rounded.Cost, rounded.Bound.LP
+	if !p.Feasible(rounded.Solution, variant) {
 		r.violatef("%s: LP-rounded solution infeasible", name)
 	}
 	if rc < optCost-eps(optCost) {
@@ -233,8 +322,8 @@ func (r *Result) checkHeuristics(name string, p *secureview.Problem, variant sec
 		r.violatef("%s: LP value %g exceeds optimum %g (not a relaxation?)", name, lpVal, optCost)
 	}
 	if variant == secureview.Set {
-		if lmax := p.LMax(secureview.Set); lmax > 0 && rc > float64(lmax)*lpVal+eps(rc) {
-			r.violatef("%s: rounded cost %g exceeds ℓmax bound %d×%g", name, rc, lmax, lpVal)
+		if lmax := rounded.Bound.Factor; lmax > 0 && rc > lmax*lpVal+eps(rc) {
+			r.violatef("%s: rounded cost %g exceeds ℓmax bound %g×%g", name, rc, lmax, lpVal)
 		}
 	}
 	if optCost > 0 && rc/optCost > r.MaxLPRatio {
@@ -242,79 +331,79 @@ func (r *Result) checkHeuristics(name string, p *secureview.Problem, variant sec
 	}
 }
 
-// CheckInstance runs the harness on a generated workflow instance: the
-// standalone engine matrix per private module, the derived set- and
-// cardinality-variant solver matrices, compiled-vs-interpreted oracle
-// agreement, and — when small enough — exhaustive possible-world
-// verification of the assembled optimum plus the worlds-vs-assembly cost
-// ordering.
+// CheckInstance runs the harness on a generated workflow instance. It is
+// CheckInstanceCtx without cancellation.
 func CheckInstance(it *gen.Instance, opts Options) Result {
+	return CheckInstanceCtx(context.Background(), it, opts)
+}
+
+// CheckInstanceCtx runs the harness on a generated workflow instance: the
+// standalone engine matrix per private module, the derived set- and
+// cardinality-variant solver matrices (derivations and compiled oracles
+// served through a solve.Session, shared across instances when
+// Options.Session is set), compiled-vs-interpreted oracle agreement, and —
+// when small enough — exhaustive possible-world verification of the
+// assembled optimum plus the worlds-vs-assembly cost ordering.
+func CheckInstanceCtx(ctx context.Context, it *gen.Instance, opts Options) Result {
 	opts = opts.withDefaults()
+	sess := opts.Session
+	if sess == nil {
+		sess = solve.NewSession()
+	}
 	var r Result
 	r.Instances = 1
 	name := fmt.Sprintf("%s/seed=%d", it.W.Name(), it.Seed)
 
-	r.checkStandalone(name, it, opts)
+	r.checkStandalone(name, it, sess, opts)
 
 	// Derived set-variant instance.
-	pset, errSet := it.Derive()
+	pset, errSet := sess.Problem(ctx, it.W, secureview.Set, it.Gamma, it.Costs, it.PrivatizeCosts)
 	var exactSet secureview.Solution
 	haveExact := false
 	if errSet != nil {
-		if errors.Is(errSet, secureview.ErrInfeasible) {
-			r.Skips++ // no safe subset at Γ: legitimately skip
+		if errors.Is(errSet, secureview.ErrInfeasible) || cancelled(errSet) {
+			r.Skips++ // no safe subset at Γ (or a cancelled run): legitimately skip
 		} else {
 			r.violatef("%s: derivation failed with a non-infeasibility error: %v", name, errSet)
 		}
 	} else {
-		var err error
-		exactSet, err = secureview.ExactSet(pset, opts.ExactSetNodes)
+		res, err := solve.Solve(ctx, "exact", pset, opts.solveOptions(secureview.Set))
 		r.SolverRuns++
 		if err != nil {
-			r.Skips++
+			r.skipOrViolate(name, "derived-set exact solver", err)
 		} else {
 			haveExact = true
+			exactSet = res.Solution
 			r.Exact = 1
-			optCost := pset.Cost(exactSet)
 			allPrivate := len(it.W.PublicModules()) == 0
-			r.checkHeuristics(name+"/derived-set", pset, secureview.Set, optCost, allPrivate, pset.Multiplicity(), opts)
+			r.checkEngine(ctx, name+"/derived-set", pset, secureview.Set, res.Cost, opts)
+			r.checkHeuristics(ctx, name+"/derived-set", pset, secureview.Set, res.Cost, allPrivate, pset.Multiplicity(), opts)
 		}
 	}
 
 	// Derived cardinality-variant instance.
-	if pcard, err := it.DeriveCard(); err == nil {
-		sub := CheckProblem(name+"/derived-card", cardOnly(pcard), opts)
+	if pcard, err := sess.Problem(ctx, it.W, secureview.Cardinality, it.Gamma, it.Costs, it.PrivatizeCosts); err == nil {
+		sub := CheckProblemCtx(ctx, name+"/derived-card", pcard, opts)
 		sub.Instances, sub.Exact = 0, 0 // same instance, don't double count
 		r = Merge(r, sub)
-	} else if errors.Is(err, secureview.ErrInfeasible) {
+	} else if errors.Is(err, secureview.ErrInfeasible) || cancelled(err) {
 		r.Skips++
 	} else {
 		r.violatef("%s: cardinality derivation failed with a non-infeasibility error: %v", name, err)
 	}
 
 	if haveExact {
-		r.checkWorlds(name, it, pset, exactSet, opts)
+		r.checkWorlds(ctx, name, it, pset, exactSet, opts)
 	}
 	return r
-}
-
-// cardOnly strips set lists so CheckProblem only exercises the cardinality
-// matrix (the derived card problem shares the workflow's set instance
-// otherwise).
-func cardOnly(p *secureview.Problem) *secureview.Problem {
-	q := &secureview.Problem{Costs: p.Costs}
-	for _, m := range p.Modules {
-		m.SetList = nil
-		q.Modules = append(q.Modules, m)
-	}
-	return q
 }
 
 // checkStandalone compares, for every private module of the instance, the
 // naive 2^k loop, the pruned engine and the compiled-oracle engine on the
 // standalone min-cost safe subset, and the compiled vs interpreted oracle
-// on every subset.
-func (r *Result) checkStandalone(name string, it *gen.Instance, opts Options) {
+// on every subset. Compiled tables come from the session, so instances
+// sharing module functionality compile once.
+func (r *Result) checkStandalone(name string, it *gen.Instance, sess *solve.Session, opts Options) {
 	for _, m := range it.W.PrivateModules() {
 		if m.Arity() > 12 {
 			r.Skips++
@@ -342,7 +431,7 @@ func (r *Result) checkStandalone(name string, it *gen.Instance, opts Options) {
 			r.violatef("%s/%s: naive optimum %g != engine optimum %g", name, m.Name(), naive.Cost, engine.Cost)
 		}
 
-		comp, err := mv.Compile()
+		comp, err := sess.Compiled(mv)
 		if err != nil {
 			r.Skips++
 			continue
@@ -381,7 +470,7 @@ func (r *Result) checkStandalone(name string, it *gen.Instance, opts Options) {
 // checkWorlds verifies the assembled optimum against exhaustive
 // possible-world semantics and cross-checks the worlds-grounded optimum's
 // cost, on instances small enough to enumerate.
-func (r *Result) checkWorlds(name string, it *gen.Instance, pset *secureview.Problem,
+func (r *Result) checkWorlds(ctx context.Context, name string, it *gen.Instance, pset *secureview.Problem,
 	exact secureview.Solution, opts Options) {
 	if it.W.Schema().Len() > opts.WorldsAttrLimit {
 		r.Skips++
@@ -400,10 +489,10 @@ func (r *Result) checkWorlds(name string, it *gen.Instance, pset *secureview.Pro
 		return
 	}
 	visible := relation.NewNameSet(it.W.Schema().Names()...).Minus(exact.Hidden)
-	failed, err := worlds.VerifyPrivate(it.W, rel, visible, exact.Privatized, nil, it.Gamma, opts.WorldsBudget)
+	failed, err := worlds.VerifyPrivateCtx(ctx, it.W, rel, visible, exact.Privatized, nil, it.Gamma, opts.WorldsBudget)
 	if err != nil {
-		if errors.Is(err, worlds.ErrBudgetExhausted) {
-			r.Skips++ // instance too large to enumerate within budget
+		if errors.Is(err, worlds.ErrBudgetExhausted) || cancelled(err) {
+			r.Skips++ // instance too large to enumerate within budget (or run cancelled)
 		} else {
 			r.violatef("%s: worlds verification failed with a non-budget error: %v", name, err)
 		}
@@ -424,10 +513,10 @@ func (r *Result) checkWorlds(name string, it *gen.Instance, pset *secureview.Pro
 			r.Skips++
 			return
 		}
-		hidden, cost, found, _, err := hp.MinCostHiding(opts.Search)
+		hidden, cost, found, _, err := hp.MinCostHidingCtx(ctx, opts.Search)
 		r.SolverRuns++
 		if err != nil {
-			if errors.Is(err, worlds.ErrBudgetExhausted) {
+			if errors.Is(err, worlds.ErrBudgetExhausted) || cancelled(err) {
 				r.Skips++
 			} else {
 				r.violatef("%s: worlds min-cost search failed with a non-budget error: %v", name, err)

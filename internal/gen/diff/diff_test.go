@@ -1,10 +1,12 @@
 package diff
 
 import (
+	"context"
 	"testing"
 
 	"secureview/internal/gen"
 	"secureview/internal/secureview"
+	"secureview/internal/solve"
 )
 
 // TestDifferentialSuite is the acceptance property test of the scenario
@@ -20,6 +22,10 @@ func TestDifferentialSuite(t *testing.T) {
 	if testing.Short() {
 		workflowSeeds, problemSeeds = 2, 5
 	}
+	// One solve.Session across the whole suite: derived problems and
+	// compiled oracle tables are shared across instances exactly as a
+	// long-lived server would share them across requests.
+	sess := solve.NewSession()
 	var results []Result
 	for _, cl := range gen.Classes() {
 		for seed := int64(0); seed < workflowSeeds; seed++ {
@@ -27,7 +33,7 @@ func TestDifferentialSuite(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s seed %d: %v", cl.Name, seed, err)
 			}
-			results = append(results, CheckInstance(it, Options{}))
+			results = append(results, CheckInstance(it, Options{Session: sess}))
 		}
 	}
 	for _, pc := range gen.ProblemClasses() {
@@ -76,6 +82,27 @@ func TestDifferentialResultDeterministic(t *testing.T) {
 	}
 }
 
+// TestCancelledHarnessReportsSkipsNotViolations: tearing a harness run
+// down mid-flight must yield a clean (incomplete) Result — cancellation is
+// a skip, never a spurious solver "violation".
+func TestCancelledHarnessReportsSkipsNotViolations(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := gen.Problem(gen.ProblemConfig{Modules: 4}, 1)
+	r := CheckProblemCtx(ctx, "cancelled", p, Options{})
+	if len(r.Violations) != 0 {
+		t.Fatalf("cancelled run produced violations: %v", r.Violations)
+	}
+	if r.Skips == 0 {
+		t.Fatal("cancelled run recorded no skips")
+	}
+	it := gen.MustNew(gen.Config{Topology: gen.Chain, Modules: 3}, 1)
+	ri := CheckInstanceCtx(ctx, it, Options{})
+	if len(ri.Violations) != 0 {
+		t.Fatalf("cancelled instance run produced violations: %v", ri.Violations)
+	}
+}
+
 // TestHarnessCatchesBrokenSolver proves the violation channel fires (a
 // harness that can't fail verifies nothing): checking heuristics against a
 // falsified optimum far above the true one must report them as "cheaper
@@ -83,7 +110,7 @@ func TestDifferentialResultDeterministic(t *testing.T) {
 func TestHarnessCatchesBrokenSolver(t *testing.T) {
 	p := gen.Problem(gen.ProblemConfig{Modules: 3}, 1)
 	var r Result
-	r.checkHeuristics("tampered", p, secureview.Set, 1e9, true, p.Multiplicity(), Options{}.withDefaults())
+	r.checkHeuristics(context.Background(), "tampered", p, secureview.Set, 1e9, true, p.Multiplicity(), Options{}.withDefaults())
 	if len(r.Violations) == 0 {
 		t.Fatal("harness accepted heuristic solutions cheaper than the claimed optimum")
 	}

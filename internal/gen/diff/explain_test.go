@@ -1,0 +1,116 @@
+package diff
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"secureview/internal/gen"
+	"secureview/internal/secureview"
+	"secureview/internal/solve"
+)
+
+// requireExplanation asserts the Explain contract on one (problem,
+// solution, variant): no error, exactly one line per module, in module
+// order, each line led by its module's name, and every private module's
+// line naming a satisfied requirement.
+func requireExplanation(t *testing.T, name string, p *secureview.Problem,
+	sol secureview.Solution, v secureview.Variant) {
+	t.Helper()
+	e, err := secureview.Explain(p, sol, v)
+	if err != nil {
+		t.Errorf("%s: Explain failed on an optimal solution: %v", name, err)
+		return
+	}
+	if len(e.Lines) != len(p.Modules) {
+		t.Errorf("%s: %d explanation lines for %d modules", name, len(e.Lines), len(p.Modules))
+		return
+	}
+	for i, m := range p.Modules {
+		line := e.Lines[i]
+		if !strings.HasPrefix(line, m.Name) {
+			t.Errorf("%s: line %d %q does not lead with module %q", name, i, line, m.Name)
+			continue
+		}
+		if m.Public {
+			if sol.Privatized.Has(m.Name) != strings.Contains(line, "privatized") {
+				t.Errorf("%s: public module %s line %q inconsistent with privatization %v",
+					name, m.Name, line, sol.Privatized.Has(m.Name))
+			}
+			continue
+		}
+		if !strings.Contains(line, "satisfied") {
+			t.Errorf("%s: private module %s line %q names no satisfied requirement", name, m.Name, line)
+		}
+	}
+}
+
+// TestExplainGeneratedOptima runs secureview.Explain over every optimal
+// solution the registry's exact solvers produce across the canonical
+// generated corpora — workflow-derived instances (gen.Classes) in the set
+// variant, abstract instances (gen.ProblemClasses) in both variants. An
+// optimum the solver cannot explain is a defect in either Explain or the
+// solver, so every case must yield a non-empty, requirement-consistent
+// explanation.
+func TestExplainGeneratedOptima(t *testing.T) {
+	ctx := context.Background()
+	sess := solve.NewSession()
+	explained := 0
+
+	for _, cl := range gen.Classes() {
+		for seed := int64(0); seed < 3; seed++ {
+			it, err := gen.New(cl.Cfg, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", cl.Name, seed, err)
+			}
+			for _, v := range []secureview.Variant{secureview.Set, secureview.Cardinality} {
+				p, err := sess.Problem(ctx, it.W, v, it.Gamma, it.Costs, it.PrivatizeCosts)
+				if err != nil {
+					if errors.Is(err, secureview.ErrInfeasible) {
+						continue
+					}
+					t.Fatalf("%s seed %d %v: %v", cl.Name, seed, v, err)
+				}
+				res, err := solve.Solve(ctx, "exact", p, solve.Options{Variant: v, MaxAttrs: 22})
+				if err != nil {
+					if errors.Is(err, secureview.ErrNodeBudget) {
+						continue
+					}
+					t.Fatalf("%s seed %d %v: exact: %v", cl.Name, seed, v, err)
+				}
+				requireExplanation(t, cl.Name, p, res.Solution, v)
+				explained++
+			}
+		}
+	}
+
+	for _, pc := range gen.ProblemClasses() {
+		for seed := int64(0); seed < 8; seed++ {
+			p := gen.Problem(pc.Cfg, seed)
+			for _, v := range []secureview.Variant{secureview.Set, secureview.Cardinality} {
+				res, err := solve.Solve(ctx, "exact", p, solve.Options{Variant: v, MaxAttrs: 22})
+				if err != nil {
+					if errors.Is(err, secureview.ErrNodeBudget) {
+						continue
+					}
+					t.Fatalf("%s seed %d %v: exact: %v", pc.Name, seed, v, err)
+				}
+				requireExplanation(t, pc.Name, p, res.Solution, v)
+				explained++
+			}
+		}
+	}
+	if explained < 50 {
+		t.Fatalf("only %d (problem, variant) optima explained; corpus too thin", explained)
+	}
+}
+
+// TestExplainRejectsInfeasible: the error path stays an error — feeding an
+// empty solution to a non-trivial instance cannot produce an explanation.
+func TestExplainRejectsInfeasible(t *testing.T) {
+	p := gen.Problem(gen.ProblemConfig{Modules: 3}, 2)
+	if _, err := secureview.Explain(p, secureview.Solution{}, secureview.Set); err == nil {
+		t.Fatal("Explain accepted an infeasible (empty) solution")
+	}
+}

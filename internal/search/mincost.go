@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/bits"
 	"sync"
@@ -39,10 +40,44 @@ const sortedMax = 22
 // lexicographically smallest as a sorted name sequence. Proposition 1
 // monotonicity prunes masks dominated by an already-decided visible set.
 func (s *Space) MinCost(oracle Oracle, opts Options) (Result, error) {
-	if s.K() <= sortedMax {
-		return s.minCostSorted(oracle, opts)
+	return s.MinCostCtx(context.Background(), oracle, opts)
+}
+
+// MinCostCtx is MinCost with cancellation: every worker observes the context
+// at each candidate mask (one pruning epoch), so the search stops promptly
+// even when individual oracle calls are expensive — provided the oracle
+// itself honours the same context, as the worlds-grounded oracles do. On
+// expiry the partial result is discarded and ctx.Err() is returned.
+//
+// Cancellation is propagated through an atomic flag raised by a watcher
+// goroutine rather than per-candidate ctx.Err() calls, which would serialize
+// the worker pool on the context's mutex.
+func (s *Space) MinCostCtx(ctx context.Context, oracle Oracle, opts Options) (Result, error) {
+	var cancelled atomic.Bool
+	if done := ctx.Done(); done != nil {
+		quit := make(chan struct{})
+		defer close(quit)
+		go func() {
+			select {
+			case <-done:
+				cancelled.Store(true)
+			case <-quit:
+			}
+		}()
 	}
-	return s.minCostStreaming(oracle, opts)
+	var res Result
+	var err error
+	if s.K() <= sortedMax {
+		res, err = s.minCostSorted(oracle, opts, &cancelled)
+	} else {
+		res, err = s.minCostStreaming(oracle, opts, &cancelled)
+	}
+	if cancelled.Load() {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Result{Stats: res.Stats}, ctxErr
+		}
+	}
+	return res, err
 }
 
 // orderedCostBits maps a float64 to a uint64 whose unsigned order matches
@@ -120,7 +155,7 @@ func (s *Space) sortCandidates() (masks []Mask, cost func(int) float64) {
 // minCostSorted materializes all candidates in (cost, lex) order and strides
 // workers over the sorted list. The answer is the lowest-index safe
 // candidate; workers past the current best index stop wholesale.
-func (s *Space) minCostSorted(oracle Oracle, opts Options) (Result, error) {
+func (s *Space) minCostSorted(oracle Oracle, opts Options, cancelled *atomic.Bool) (Result, error) {
 	n := 1 << s.K()
 	masks, costOf := s.sortCandidates()
 
@@ -143,7 +178,7 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options) (Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			for idx := w; idx < n; idx += workers {
-				if failed.Load() {
+				if failed.Load() || cancelled.Load() {
 					return
 				}
 				if int64(idx) > bestIdx.Load() {
@@ -197,7 +232,7 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options) (Result, error) {
 // memory). Pruning uses a shared best-cost bound plus the domination stores;
 // each worker keeps its own incumbent and the results merge at the end with
 // the same (cost, lex) tie-break.
-func (s *Space) minCostStreaming(oracle Oracle, opts Options) (Result, error) {
+func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.Bool) (Result, error) {
 	n := 1 << s.K()
 	workers := opts.workers()
 	if workers > n {
@@ -227,7 +262,7 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options) (Result, error) {
 			defer wg.Done()
 			best := &bests[w]
 			for m := w; m < n; m += workers {
-				if failed.Load() {
+				if failed.Load() || cancelled.Load() {
 					return
 				}
 				hidden := Mask(m)

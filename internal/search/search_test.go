@@ -194,12 +194,12 @@ func TestStreamingMatchesSortedAndNaive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sorted, err := s.minCostSorted(oracle, Options{Parallelism: 2})
+		sorted, err := s.minCostSorted(oracle, Options{Parallelism: 2}, new(atomic.Bool))
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, par := range []int{1, 4} {
-			stream, err := s.minCostStreaming(oracle, Options{Parallelism: par})
+			stream, err := s.minCostStreaming(oracle, Options{Parallelism: par}, new(atomic.Bool))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package secureview
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -179,7 +180,19 @@ type RoundingOptions struct {
 // apply the privatization closure. It returns the solution and the LP
 // optimum (a lower bound on OPT, so cost/lpValue bounds the true ratio).
 func CardinalityLPRound(p *Problem, opts RoundingOptions) (Solution, float64, error) {
+	return CardinalityLPRoundCtx(context.Background(), p, opts)
+}
+
+// CardinalityLPRoundCtx is CardinalityLPRound with cancellation points at
+// the LP boundary and between rounding trials (the simplex itself runs to
+// completion; it is polynomial, unlike the searches the context plumbing
+// exists to bound). On expiry it returns ctx.Err() and, when at least one
+// trial finished, the cheapest feasible rounding so far.
+func CardinalityLPRoundCtx(ctx context.Context, p *Problem, opts RoundingOptions) (Solution, float64, error) {
 	if err := p.Validate(Cardinality); err != nil {
+		return Solution{}, 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Solution{}, 0, err
 	}
 	prob, idx := buildCardLP(p, FullForm)
@@ -204,6 +217,12 @@ func CardinalityLPRound(p *Problem, opts RoundingOptions) (Solution, float64, er
 	var best Solution
 	bestCost := math.Inf(1)
 	for t := 0; t < trials; t++ {
+		if err := ctx.Err(); err != nil {
+			if bestCost < math.Inf(1) {
+				return best, lpSol.Objective, err
+			}
+			return Solution{}, 0, err
+		}
 		hidden := make(relation.NameSet)
 		for _, a := range idx.attrs {
 			pInc := mult * lpSol.X[idx.attrIdx[a]]

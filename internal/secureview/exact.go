@@ -1,19 +1,45 @@
 package secureview
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"secureview/internal/relation"
 )
 
-// ExactSet finds an optimal solution for the set-constraints variant by
+// ErrNodeBudget is the typed sentinel wrapped (errors.Is-able) by the exact
+// solvers when their search space or node budget is exhausted before the
+// optimum is proven, mirroring worlds.ErrBudgetExhausted. Callers distinguish
+// a legitimately-too-large instance from a solver defect with errors.Is; the
+// differential harness's skip logic asserts exactly that.
+var ErrNodeBudget = errors.New("secureview: node budget exhausted")
+
+// ExactStats reports how an exact solver spent its budget: search-tree nodes
+// for ExactSet and ExactCardBB, candidate masks for ExactCard.
+type ExactStats struct {
+	Nodes int
+}
+
+// ExactSet finds an optimal solution for the set-constraints variant. It is
+// ExactSetCtx without cancellation; see there for the budget contract.
+func ExactSet(p *Problem, maxNodes int) (Solution, error) {
+	sol, _, err := ExactSetCtx(context.Background(), p, maxNodes)
+	return sol, err
+}
+
+// ExactSetCtx finds an optimal solution for the set-constraints variant by
 // branch and bound over per-module option choices (ℓmax^n worst case; the
 // problem is NP-hard, Theorem 6). The incumbent is seeded by Greedy.
-// An error is returned when the search space exceeds maxNodes.
-func ExactSet(p *Problem, maxNodes int) (Solution, error) {
+//
+// A search space exceeding maxNodes returns an error wrapping ErrNodeBudget.
+// Cancellation is observed every few hundred nodes; on expiry the call
+// returns ctx.Err() together with the best incumbent found so far (always
+// feasible, since the greedy seed is).
+func ExactSetCtx(ctx context.Context, p *Problem, maxNodes int) (Solution, ExactStats, error) {
 	if err := p.Validate(Set); err != nil {
-		return Solution{}, err
+		return Solution{}, ExactStats{}, err
 	}
 	var privates []ModuleSpec
 	for _, m := range p.Modules {
@@ -26,7 +52,7 @@ func ExactSet(p *Problem, maxNodes int) (Solution, error) {
 		space *= float64(len(m.SetList))
 	}
 	if space > float64(maxNodes) {
-		return Solution{}, fmt.Errorf("secureview: exact set search space %g exceeds %d", space, maxNodes)
+		return Solution{}, ExactStats{}, fmt.Errorf("secureview: exact set search space %g exceeds %d: %w", space, maxNodes, ErrNodeBudget)
 	}
 
 	incumbent := Greedy(p, Set)
@@ -36,8 +62,17 @@ func ExactSet(p *Problem, maxNodes int) (Solution, error) {
 	hidden := make(relation.NameSet)
 	hideCount := make(map[string]int)
 	attrCost := 0.0
+	nodes := 0
+	cancelled := false
 	var rec func(i int)
 	rec = func(i int) {
+		nodes++
+		if nodes&255 == 0 && ctx.Err() != nil {
+			cancelled = true
+		}
+		if cancelled {
+			return
+		}
 		if attrCost >= bestCost {
 			return // privatization cost is non-negative
 		}
@@ -69,57 +104,54 @@ func ExactSet(p *Problem, maxNodes int) (Solution, error) {
 				delete(hidden, a)
 				attrCost -= p.Costs.Of(a)
 			}
+			if cancelled {
+				return
+			}
 		}
 	}
 	rec(0)
-	return best, nil
+	if cancelled {
+		return best, ExactStats{Nodes: nodes}, ctx.Err()
+	}
+	return best, ExactStats{Nodes: nodes}, nil
 }
 
-// ExactCard finds an optimal solution for the cardinality variant by
-// enumerating all subsets of the instance's useful attributes (2^|A'|; the
-// problem is NP-hard even restricted, Theorem 5). An attribute is useful if
-// it can contribute to some requirement: it is an input of a private module
-// with a positive α option, or an output of one with a positive β option.
-// Hiding any other attribute only adds cost (and possibly privatization),
-// so no optimum contains one. An error is returned when the useful
-// attribute count exceeds maxAttrs.
+// ExactCard finds an optimal solution for the cardinality variant. It is
+// ExactCardCtx without cancellation; see there for the budget contract.
 func ExactCard(p *Problem, maxAttrs int) (Solution, error) {
+	sol, _, err := ExactCardCtx(context.Background(), p, maxAttrs)
+	return sol, err
+}
+
+// ExactCardCtx finds an optimal solution for the cardinality variant by
+// enumerating all subsets of the instance's useful attributes (2^|A'|; the
+// problem is NP-hard even restricted, Theorem 5); see UsefulAttributes for
+// why nothing else can appear in an optimum.
+//
+// A useful-attribute count exceeding maxAttrs returns an error wrapping
+// ErrNodeBudget. Cancellation is observed every few thousand masks; on
+// expiry the call returns ctx.Err() together with the cheapest feasible
+// solution seen so far, if any.
+func ExactCardCtx(ctx context.Context, p *Problem, maxAttrs int) (Solution, ExactStats, error) {
 	if err := p.Validate(Cardinality); err != nil {
-		return Solution{}, err
+		return Solution{}, ExactStats{}, err
 	}
-	useful := make(relation.NameSet)
-	for _, m := range p.Modules {
-		if m.Public {
-			continue
-		}
-		maxAlpha, maxBeta := 0, 0
-		for _, r := range m.CardList {
-			if r.Alpha > maxAlpha {
-				maxAlpha = r.Alpha
-			}
-			if r.Beta > maxBeta {
-				maxBeta = r.Beta
-			}
-		}
-		if maxAlpha > 0 {
-			for _, a := range m.Inputs {
-				useful.Add(a)
-			}
-		}
-		if maxBeta > 0 {
-			for _, a := range m.Outputs {
-				useful.Add(a)
-			}
-		}
-	}
-	attrs := useful.Sorted()
+	attrs := p.UsefulAttributes(Cardinality)
 	if len(attrs) > maxAttrs || len(attrs) > 26 {
-		return Solution{}, fmt.Errorf("secureview: %d attributes too many for exact enumeration", len(attrs))
+		return Solution{}, ExactStats{}, fmt.Errorf("secureview: %d attributes too many for exact enumeration: %w", len(attrs), ErrNodeBudget)
 	}
 	bestCost := math.Inf(1)
 	var best Solution
 	found := false
+	nodes := 0
 	for mask := 0; mask < 1<<len(attrs); mask++ {
+		nodes++
+		if mask&4095 == 0 && ctx.Err() != nil {
+			if found {
+				return best, ExactStats{Nodes: nodes}, ctx.Err()
+			}
+			return Solution{}, ExactStats{Nodes: nodes}, ctx.Err()
+		}
 		hidden := make(relation.NameSet)
 		attrCost := 0.0
 		for i, a := range attrs {
@@ -143,7 +175,7 @@ func ExactCard(p *Problem, maxAttrs int) (Solution, error) {
 		}
 	}
 	if !found {
-		return Solution{}, fmt.Errorf("secureview: no feasible solution")
+		return Solution{}, ExactStats{Nodes: nodes}, fmt.Errorf("secureview: no feasible solution")
 	}
-	return best, nil
+	return best, ExactStats{Nodes: nodes}, nil
 }

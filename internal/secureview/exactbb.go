@@ -1,15 +1,24 @@
 package secureview
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"secureview/internal/relation"
 )
 
-// ExactCardBB finds an optimal cardinality-variant solution by depth-first
-// branch and bound over attributes, which scales further than ExactCard's
-// 2^|A| enumeration on instances whose optima hide few attributes.
+// ExactCardBB finds an optimal cardinality-variant solution. It is
+// ExactCardBBCtx without cancellation; see there for the budget contract.
+func ExactCardBB(p *Problem, maxNodes int) (Solution, error) {
+	sol, _, err := ExactCardBBCtx(context.Background(), p, maxNodes)
+	return sol, err
+}
+
+// ExactCardBBCtx finds an optimal cardinality-variant solution by
+// depth-first branch and bound over attributes, which scales further than
+// ExactCard's 2^|A| enumeration on instances whose optima hide few
+// attributes.
 //
 // Branching: attributes are considered in decreasing "demand" order; at
 // each node the attribute is either hidden (cost incurred) or discarded.
@@ -20,39 +29,22 @@ import (
 // restricted to still-available attributes (admissible because option
 // completions may overlap, which only lowers true cost... the bound uses
 // the maximum single-module completion, which never overestimates).
-// maxNodes caps the search.
-func ExactCardBB(p *Problem, maxNodes int) (Solution, error) {
+//
+// Exceeding maxNodes returns an error wrapping ErrNodeBudget; cancellation
+// is observed every few hundred nodes and returns ctx.Err(). In both cases
+// the best incumbent found so far is returned alongside the error (always
+// feasible, since the greedy seed is).
+func ExactCardBBCtx(ctx context.Context, p *Problem, maxNodes int) (Solution, ExactStats, error) {
 	if err := p.Validate(Cardinality); err != nil {
-		return Solution{}, err
+		return Solution{}, ExactStats{}, err
 	}
-	// Useful attributes only (see ExactCard).
-	useful := make(relation.NameSet)
 	var privates []ModuleSpec
 	for _, m := range p.Modules {
-		if m.Public {
-			continue
-		}
-		privates = append(privates, m)
-		maxAlpha, maxBeta := 0, 0
-		for _, r := range m.CardList {
-			if r.Alpha > maxAlpha {
-				maxAlpha = r.Alpha
-			}
-			if r.Beta > maxBeta {
-				maxBeta = r.Beta
-			}
-		}
-		if maxAlpha > 0 {
-			for _, a := range m.Inputs {
-				useful.Add(a)
-			}
-		}
-		if maxBeta > 0 {
-			for _, a := range m.Outputs {
-				useful.Add(a)
-			}
+		if !m.Public {
+			privates = append(privates, m)
 		}
 	}
+	useful := relation.NewNameSet(p.UsefulAttributes(Cardinality)...)
 	attrs := useful.Sorted()
 	// Order attributes by how many modules reference them (descending), so
 	// impactful decisions happen early; ties by cost ascending.
@@ -88,7 +80,7 @@ func ExactCardBB(p *Problem, maxNodes int) (Solution, error) {
 	hidden := make(relation.NameSet)
 	discarded := make(relation.NameSet)
 	nodes := 0
-	var overBudget bool
+	var overBudget, cancelled bool
 
 	// completionBound returns a lower bound on extra attribute cost needed
 	// to satisfy all currently unsatisfied modules, or -1 if some module
@@ -126,6 +118,10 @@ func ExactCardBB(p *Problem, maxNodes int) (Solution, error) {
 			overBudget = true
 			return
 		}
+		if nodes&255 == 0 && ctx.Err() != nil {
+			cancelled = true
+			return
+		}
 		lb := completionBound()
 		if lb < 0 || attrCost+lb >= bestCost {
 			return
@@ -147,7 +143,7 @@ func ExactCardBB(p *Problem, maxNodes int) (Solution, error) {
 		hidden.Add(a)
 		rec(i+1, attrCost+p.Costs.Of(a))
 		delete(hidden, a)
-		if overBudget {
+		if overBudget || cancelled {
 			return
 		}
 		// Branch 2: discard a.
@@ -156,13 +152,16 @@ func ExactCardBB(p *Problem, maxNodes int) (Solution, error) {
 		delete(discarded, a)
 	}
 	rec(0, 0)
-	if overBudget {
-		return Solution{}, fmt.Errorf("secureview: branch-and-bound exceeded %d nodes", maxNodes)
+	stats := ExactStats{Nodes: nodes}
+	switch {
+	case cancelled:
+		return best, stats, ctx.Err()
+	case overBudget:
+		return best, stats, fmt.Errorf("secureview: branch-and-bound exceeded %d nodes: %w", maxNodes, ErrNodeBudget)
+	case !feasibleSeen:
+		return Solution{}, stats, fmt.Errorf("secureview: no feasible solution")
 	}
-	if !feasibleSeen {
-		return Solution{}, fmt.Errorf("secureview: no feasible solution")
-	}
-	return best, nil
+	return best, stats, nil
 }
 
 // completionCost returns the cheapest extra cost to satisfy requirement r

@@ -1,6 +1,10 @@
 package secureview
 
-import "secureview/internal/relation"
+import (
+	"context"
+
+	"secureview/internal/relation"
+)
 
 // Greedy solves the instance by choosing, independently for every private
 // module, its cheapest single-module option and hiding the union, then
@@ -12,13 +16,25 @@ import "secureview/internal/relation"
 // module requirements. With unbounded sharing (or public modules, Theorem
 // 9) the gap can grow to Ω(n) / Ω(log n), which the experiments measure.
 func Greedy(p *Problem, variant Variant) Solution {
+	sol, _ := GreedyCtx(context.Background(), p, variant)
+	return sol
+}
+
+// GreedyCtx is Greedy with a cancellation point between modules; on expiry
+// it returns ctx.Err() and the (partial, possibly infeasible) union built so
+// far. Greedy is linear in the requirement lists, so cancellation matters
+// only on very large instances.
+func GreedyCtx(ctx context.Context, p *Problem, variant Variant) (Solution, error) {
 	hidden := make(relation.NameSet)
-	for _, m := range p.Modules {
+	for i, m := range p.Modules {
+		if i&255 == 0 && ctx.Err() != nil {
+			return p.Complete(hidden), ctx.Err()
+		}
 		if m.Public {
 			continue
 		}
 		opt, _ := p.minCostOption(m, variant)
 		hidden = hidden.Union(opt)
 	}
-	return p.Complete(hidden)
+	return p.Complete(hidden), nil
 }

@@ -151,6 +151,51 @@ func (p *Problem) Attributes() []string {
 	return set.Sorted()
 }
 
+// UsefulAttributes returns, sorted, the attributes that can contribute to
+// some private module's requirement in the variant: for cardinality, inputs
+// of a module with a positive α option and outputs of one with a positive β
+// option; for sets, every attribute named by some option. Hiding any other
+// attribute only adds cost (and possibly privatization), so no optimum
+// contains one — this is the exact solvers' and the engine solver's search
+// universe.
+func (p *Problem) UsefulAttributes(variant Variant) []string {
+	useful := make(relation.NameSet)
+	for _, m := range p.Modules {
+		if m.Public {
+			continue
+		}
+		switch variant {
+		case Cardinality:
+			maxAlpha, maxBeta := 0, 0
+			for _, r := range m.CardList {
+				if r.Alpha > maxAlpha {
+					maxAlpha = r.Alpha
+				}
+				if r.Beta > maxBeta {
+					maxBeta = r.Beta
+				}
+			}
+			if maxAlpha > 0 {
+				for _, a := range m.Inputs {
+					useful.Add(a)
+				}
+			}
+			if maxBeta > 0 {
+				for _, a := range m.Outputs {
+					useful.Add(a)
+				}
+			}
+		case Set:
+			for _, r := range m.SetList {
+				for a := range r.Attrs() {
+					useful.Add(a)
+				}
+			}
+		}
+	}
+	return useful.Sorted()
+}
+
 // LMax returns the longest requirement list length ℓmax for the variant.
 func (p *Problem) LMax(variant Variant) int {
 	max := 0

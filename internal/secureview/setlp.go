@@ -1,6 +1,7 @@
 package secureview
 
 import (
+	"context"
 	"fmt"
 
 	"secureview/internal/lp"
@@ -22,7 +23,18 @@ import (
 // reach the threshold. The cost is at most ℓmax times the LP optimum, which
 // lower-bounds OPT. Returns the solution and the LP optimum.
 func SetLPRound(p *Problem) (Solution, float64, error) {
+	return SetLPRoundCtx(context.Background(), p)
+}
+
+// SetLPRoundCtx is SetLPRound with cancellation points at the LP boundary
+// (the polynomial simplex itself runs to completion). On expiry it returns
+// ctx.Err() and no solution — the rounding is a single deterministic
+// threshold pass, so there is no meaningful partial result.
+func SetLPRoundCtx(ctx context.Context, p *Problem) (Solution, float64, error) {
 	if err := p.Validate(Set); err != nil {
+		return Solution{}, 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Solution{}, 0, err
 	}
 	lmax := p.LMax(Set)

@@ -1,0 +1,168 @@
+package solve_test
+
+// The cancellation smoke tests of the solver layer: a deadline must stop
+// every solver family within one pruning epoch — the engine's candidate
+// loop, the exact solvers' search trees — rather than after the run would
+// have finished anyway. Wall-clock assertions are generous (CI machines
+// stall), but orders of magnitude below the uncancelled runtimes.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"secureview/internal/exp"
+	"secureview/internal/gen"
+	"secureview/internal/search"
+	"secureview/internal/secureview"
+	"secureview/internal/solve"
+)
+
+// promptly runs fn under a 50ms deadline and asserts it returns
+// context.DeadlineExceeded well before the uncancelled runtime would allow.
+func promptly(t *testing.T, what string, fn func(ctx context.Context) error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := fn(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("%s: err = %v, want context.DeadlineExceeded (elapsed %v)", what, err, elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("%s: took %v to notice a 50ms deadline", what, elapsed)
+	}
+}
+
+// TestEngineDeadlineK18 is the acceptance smoke test: the pruned parallel
+// engine on the k=18 benchmark instance (minutes naive, ~100ms+ engine)
+// must surface a 50ms deadline within one candidate epoch.
+func TestEngineDeadlineK18(t *testing.T) {
+	mv, costs, gamma := exp.SearchBenchInstance(18)
+	sp, err := search.NewSpace(mv.Attrs(), costs.Of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(v search.Mask) (bool, error) { return mv.IsSafe(sp.NameSet(v), gamma) }
+	promptly(t, "engine k=18", func(ctx context.Context) error {
+		_, err := sp.MinCostCtx(ctx, oracle, search.Options{})
+		return err
+	})
+}
+
+// bigCardProblem returns a cardinality instance whose branch-and-bound tree
+// is astronomically larger than any 50ms budget.
+func bigCardProblem() *secureview.Problem {
+	return gen.Problem(gen.ProblemConfig{Modules: 300, MaxInputs: 3, Outputs: 2, Share: 2}, 7)
+}
+
+// TestBranchAndBoundDeadline: the bb solver under a 50ms deadline returns
+// promptly AND carries its feasible greedy-seeded incumbent out as a
+// partial result.
+func TestBranchAndBoundDeadline(t *testing.T) {
+	p := bigCardProblem()
+	var res solve.Result
+	promptly(t, "bb 300 modules", func(ctx context.Context) error {
+		var err error
+		res, err = solve.Solve(ctx, "bb", p, solve.Options{
+			Variant:    secureview.Cardinality,
+			NodeBudget: 1 << 30, // don't let the node budget fire first
+		})
+		return err
+	})
+	if !res.Partial {
+		t.Fatal("deadline-expired bb returned no partial incumbent")
+	}
+	if !p.Feasible(res.Solution, secureview.Cardinality) {
+		t.Fatal("partial incumbent infeasible")
+	}
+}
+
+// twoOptionChain builds n independent private modules with exactly two set
+// options each ("hide my input" / "hide my output"), so the exact set
+// search space is exactly 2^n — inside the node budget for n≈55, but far
+// beyond any 50ms of wall clock, and cost pruning cannot collapse it
+// (every partial union is cheaper than the greedy incumbent).
+func twoOptionChain(n int) *secureview.Problem {
+	p := &secureview.Problem{Costs: map[string]float64{}}
+	for i := 0; i < n; i++ {
+		in := fmt.Sprintf("a%03d", i)
+		out := fmt.Sprintf("b%03d", i)
+		p.Costs[in] = 1
+		p.Costs[out] = 1.5
+		p.Modules = append(p.Modules, secureview.ModuleSpec{
+			Name: fmt.Sprintf("m%03d", i), Inputs: []string{in}, Outputs: []string{out},
+			SetList: []secureview.SetReq{{In: []string{in}}, {Out: []string{out}}},
+		})
+	}
+	return p
+}
+
+// TestExactSetDeadline: the set-variant branch and bound notices the
+// deadline inside its option tree (the space check alone would pass).
+func TestExactSetDeadline(t *testing.T) {
+	p := twoOptionChain(55)
+	var res solve.Result
+	promptly(t, "exact set 2^55 options", func(ctx context.Context) error {
+		var err error
+		res, err = solve.Solve(ctx, "exact", p, solve.Options{
+			Variant:    secureview.Set,
+			NodeBudget: 1 << 60,
+		})
+		return err
+	})
+	if !res.Partial || !p.Feasible(res.Solution, secureview.Set) {
+		t.Fatal("deadline-expired exact set returned no feasible incumbent")
+	}
+}
+
+// TestOptionsTimeoutAppliesDeadline: the per-job Timeout in Options is
+// enough — no caller-supplied context needed.
+func TestOptionsTimeoutAppliesDeadline(t *testing.T) {
+	p := bigCardProblem()
+	start := time.Now()
+	res, err := solve.Solve(context.Background(), "bb", p, solve.Options{
+		Variant:    secureview.Cardinality,
+		NodeBudget: 1 << 30,
+		Timeout:    50 * time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Options.Timeout took %v to fire", elapsed)
+	}
+	if !res.Partial {
+		t.Fatal("no partial incumbent")
+	}
+}
+
+// TestNodeBudgetTyped: budget exhaustion is errors.Is-able as
+// secureview.ErrNodeBudget across all three exact solvers, and bb still
+// returns its incumbent.
+func TestNodeBudgetTyped(t *testing.T) {
+	p := gen.Problem(gen.ProblemConfig{Modules: 40, MaxInputs: 3, Outputs: 2}, 3)
+	if _, err := secureview.ExactSet(p, 4); !errors.Is(err, secureview.ErrNodeBudget) {
+		t.Errorf("ExactSet tiny budget: err = %v, want ErrNodeBudget", err)
+	}
+	if _, err := secureview.ExactCard(p, 2); !errors.Is(err, secureview.ErrNodeBudget) {
+		t.Errorf("ExactCard tiny attr cap: err = %v, want ErrNodeBudget", err)
+	}
+	sol, err := secureview.ExactCardBB(p, 50)
+	if !errors.Is(err, secureview.ErrNodeBudget) {
+		t.Errorf("ExactCardBB tiny budget: err = %v, want ErrNodeBudget", err)
+	}
+	if !p.Feasible(sol, secureview.Cardinality) {
+		t.Error("ExactCardBB budget-exhausted incumbent infeasible")
+	}
+	// The registry surfaces the same typed error with Partial set.
+	res, err := solve.Solve(context.Background(), "bb", p, solve.Options{
+		Variant: secureview.Cardinality, NodeBudget: 50,
+	})
+	if !errors.Is(err, secureview.ErrNodeBudget) || !res.Partial {
+		t.Errorf("registry bb: err=%v partial=%v, want ErrNodeBudget with partial", err, res.Partial)
+	}
+}

@@ -1,0 +1,182 @@
+package solve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sort"
+	"sync"
+
+	"secureview/internal/oracle"
+	"secureview/internal/privacy"
+	"secureview/internal/secureview"
+	"secureview/internal/workflow"
+)
+
+// Session caches the expensive immutable state behind repeated solve
+// requests: derived Secure-View problems (the per-module standalone
+// analyses of Theorems 4/8 dominate end-to-end latency) and compiled
+// internal/oracle tables, both keyed by content fingerprints so renamed
+// handles to the same workflow share entries. All cached values are
+// immutable after construction and safe to share across goroutines; a
+// Session is safe for concurrent use, and concurrent requests for the same
+// fingerprint perform the work once (later arrivals block on the first).
+//
+// This is the request-level counterpart of privacy.Cache (which amortizes
+// per-module analyses across workflows, the paper's section 3.2 BLAST/FASTA
+// remark): one Session fronting a batch of jobs derives each distinct
+// workflow once per variant, however many (instance, solver) pairs the
+// batch fans out.
+type Session struct {
+	mu       sync.Mutex
+	problems map[string]*problemEntry
+	oracles  map[string]*oracleEntry
+	hits     int
+	misses   int
+}
+
+type problemEntry struct {
+	once sync.Once
+	p    *secureview.Problem
+	err  error
+}
+
+type oracleEntry struct {
+	once sync.Once
+	c    *oracle.Compiled
+	err  error
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{
+		problems: make(map[string]*problemEntry),
+		oracles:  make(map[string]*oracleEntry),
+	}
+}
+
+// Stats reports cache hits and misses across both caches.
+func (s *Session) Stats() (hits, misses int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// hashModuleView writes a module view's identity — attribute split, schema
+// domains and full row set — into h. Names matter (solutions are name
+// sets), so renamed copies of one function hash differently.
+func hashModuleView(h hash.Hash, mv privacy.ModuleView) {
+	for _, n := range mv.Inputs {
+		fmt.Fprintf(h, "i:%s;", n)
+	}
+	for _, n := range mv.Outputs {
+		fmt.Fprintf(h, "o:%s;", n)
+	}
+	sc := mv.Rel.Schema()
+	for i := 0; i < sc.Len(); i++ {
+		a := sc.Attr(i)
+		fmt.Fprintf(h, "d:%s=%d;", a.Name, a.Domain)
+	}
+	var buf [8]byte
+	for _, row := range mv.Rel.SortedRows() {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		h.Write([]byte{0xff})
+	}
+}
+
+// workflowKey fingerprints a derivation request: every module's identity
+// plus visibility, the privacy requirement, the variant and both cost
+// assignments. The workflow's own name is deliberately NOT hashed — it
+// never affects the derived problem (solutions are attribute/module name
+// sets), so renamed handles to the same workflow share one entry.
+func workflowKey(w *workflow.Workflow, v secureview.Variant, gamma uint64,
+	costs privacy.Costs, privatizeCosts map[string]float64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "solve/v1 variant=%d gamma=%d;", v, gamma)
+	for _, m := range w.Modules() {
+		fmt.Fprintf(h, "m:%s:%s;", m.Name(), m.Visibility())
+		hashModuleView(h, privacy.NewModuleView(m))
+	}
+	names := make([]string, 0, len(costs))
+	for a := range costs {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		fmt.Fprintf(h, "c:%s=%.17g;", a, costs[a])
+	}
+	names = names[:0]
+	for m := range privatizeCosts {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		fmt.Fprintf(h, "p:%s=%.17g;", m, privatizeCosts[m])
+	}
+	return string(h.Sum(nil))
+}
+
+// Problem returns the Secure-View instance derived from (w, Γ, costs) in
+// the given variant, deriving it on first use and serving every later
+// request — from any goroutine — out of the cache. Derivation errors
+// (including secureview.ErrInfeasible) are cached alongside: a workflow
+// with no safe subsets at Γ is not re-analyzed per request.
+//
+// The context gates only cache misses (the derivation's per-module engine
+// sweeps run to completion once started); it is checked before any work.
+func (s *Session) Problem(ctx context.Context, w *workflow.Workflow, v secureview.Variant,
+	gamma uint64, costs privacy.Costs, privatizeCosts map[string]float64) (*secureview.Problem, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := workflowKey(w, v, gamma, costs, privatizeCosts)
+	s.mu.Lock()
+	e, ok := s.problems[key]
+	if !ok {
+		e = &problemEntry{}
+		s.problems[key] = e
+		s.misses++
+	} else {
+		s.hits++
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		if v == secureview.Set {
+			e.p, e.err = secureview.Derive(w, secureview.DeriveOptions{
+				Gamma: gamma, Costs: costs, PrivatizeCosts: privatizeCosts,
+			})
+			return
+		}
+		e.p, e.err = secureview.DeriveCardProblem(w, gamma, costs, privatizeCosts)
+	})
+	return e.p, e.err
+}
+
+// Compiled returns the compiled integer-coded oracle tables for the module
+// view, compiling on first use and sharing the immutable result across all
+// later requests for the same functionality.
+func (s *Session) Compiled(mv privacy.ModuleView) (*oracle.Compiled, error) {
+	h := sha256.New()
+	h.Write([]byte("solve/oracle/v1;"))
+	hashModuleView(h, mv)
+	key := string(h.Sum(nil))
+	s.mu.Lock()
+	e, ok := s.oracles[key]
+	if !ok {
+		e = &oracleEntry{}
+		s.oracles[key] = e
+		s.misses++
+	} else {
+		s.hits++
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.c, e.err = mv.Compile()
+	})
+	return e.c, e.err
+}

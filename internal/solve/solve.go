@@ -1,0 +1,202 @@
+// Package solve is the unified solver layer over the Secure-View code
+// paths. The paper's optimization problem is solved in this repo by five
+// historically independent implementations — exhaustive enumeration
+// (ExactSet/ExactCard), branch and bound (ExactCardBB), the greedy
+// (γ+1)-approximation, the LP roundings of Theorems 5/6, and the pruned
+// subset-search engine of internal/search — each with its own signature and
+// budget convention. This package puts one interface in front of all of
+// them:
+//
+//   - Solver: Solve(ctx, *secureview.Problem, Options) (Result, error),
+//     with uniform node/time budgets, worker counts and rounding seeds, and
+//     a Result carrying the solution, a bound certificate (the Theorem 6/7
+//     approximation factors, the LP lower bound) and search counters.
+//   - a registry keyed by solver name with per-(problem, variant)
+//     capability checks, so callers enumerate what is applicable instead of
+//     hard-coding call sites.
+//   - Session: fingerprint-keyed caches of derived problems and compiled
+//     internal/oracle tables, so repeated requests against the same
+//     workflow share immutable state across goroutines.
+//   - SolveBatch: a concurrent front-end sharding many (problem, solver)
+//     jobs over a GOMAXPROCS pool with per-job deadlines.
+//
+// Cancellation contract: every registered solver observes ctx within one
+// pruning epoch (one search-tree node, candidate mask, or possible-world
+// assignment) and returns ctx.Err() on expiry. Exact solvers additionally
+// return their best incumbent alongside the error, marked Result.Partial.
+package solve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"secureview/internal/secureview"
+)
+
+// Options is the uniform solver configuration. The zero value is usable:
+// defaults match the budgets the differential harness has always used.
+type Options struct {
+	// Variant selects the constraint encoding the solver runs against.
+	Variant secureview.Variant
+	// NodeBudget caps search-tree nodes for the budgeted exact solvers
+	// (default 1<<22). Exhaustion returns an error wrapping
+	// secureview.ErrNodeBudget.
+	NodeBudget int
+	// MaxAttrs caps the useful-attribute count for exact cardinality
+	// enumeration (default 16).
+	MaxAttrs int
+	// Workers is the engine solver's worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Seed seeds the randomized cardinality LP rounding (default 1).
+	Seed int64
+	// Trials repeats the randomized rounding, keeping the cheapest feasible
+	// outcome (default 5).
+	Trials int
+	// Timeout bounds one Solve call (0 = none); it is applied by the
+	// package-level Solve front door and by SolveBatch, per job.
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.NodeBudget == 0 {
+		o.NodeBudget = 1 << 22
+	}
+	if o.MaxAttrs == 0 {
+		o.MaxAttrs = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Trials == 0 {
+		o.Trials = 5
+	}
+	return o
+}
+
+// Bound is the certificate a solver attaches to its result: what the
+// returned cost is provably within.
+type Bound struct {
+	// LP is the LP-relaxation optimum when the solver computed one — a
+	// lower bound on OPT (0 when not applicable).
+	LP float64
+	// Factor is the proven approximation factor relative to OPT: 1 for
+	// exact solvers, ℓmax for the set-constraint rounding (Theorem 6), the
+	// attribute multiplicity for greedy on all-private instances
+	// (Theorem 7). Zero means no deterministic factor is certified (e.g.
+	// the cardinality rounding's O(log n) guarantee holds w.h.p. only).
+	Factor float64
+	// Theorem names the paper result backing the certificate.
+	Theorem string
+}
+
+// Counters reports how a solver spent its budget.
+type Counters struct {
+	// Nodes counts exact-search tree nodes or enumerated candidate masks.
+	Nodes int
+	// Checked and Pruned are the engine solver's safety-test/pruning split
+	// (Checked+Pruned = candidates in scope).
+	Checked int
+	// Pruned counts engine candidates eliminated without a safety test.
+	Pruned int
+}
+
+// Result is a solver outcome.
+type Result struct {
+	// Solver and Variant echo what produced the result.
+	Solver  string
+	Variant secureview.Variant
+	// Solution is the returned (hidden, privatized) pair; Cost its total
+	// cost under the problem's cost assignment.
+	Solution secureview.Solution
+	Cost     float64
+	// Optimal is true when the solver proved optimality.
+	Optimal bool
+	// Partial is true when the solution is a best-effort incumbent returned
+	// alongside a budget or deadline error (always feasible when present).
+	Partial bool
+	// Bound is the attached certificate.
+	Bound Bound
+	// Counters reports search effort.
+	Counters Counters
+}
+
+// Solver is one registered Secure-View solver.
+type Solver interface {
+	// Name is the registry key.
+	Name() string
+	// Supports reports whether the solver can handle (p, variant); a
+	// non-nil error explains why not (wrong variant, public modules,
+	// universe too large, ...).
+	Supports(p *secureview.Problem, v secureview.Variant) error
+	// Solve runs the solver. Implementations observe ctx within one pruning
+	// epoch and return ctx.Err() on expiry (with Result.Partial set when an
+	// incumbent is available).
+	Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Solver)
+)
+
+// Register adds a solver under its name; re-registering a name replaces the
+// previous solver (tests use this to inject probes).
+func Register(s Solver) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[s.Name()] = s
+}
+
+// Get returns the named solver.
+func Get(name string) (Solver, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the registered solver names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// For returns, in name order, every registered solver that supports
+// (p, variant).
+func For(p *secureview.Problem, v secureview.Variant) []Solver {
+	var out []Solver
+	for _, n := range Names() {
+		s, _ := Get(n)
+		if s != nil && s.Supports(p, v) == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Solve is the front door: it resolves the named solver, checks capability,
+// applies Options.Timeout as a context deadline, and runs it.
+func Solve(ctx context.Context, solver string, p *secureview.Problem, opts Options) (Result, error) {
+	s, ok := Get(solver)
+	if !ok {
+		return Result{}, fmt.Errorf("solve: unknown solver %q (have %v)", solver, Names())
+	}
+	if err := s.Supports(p, opts.Variant); err != nil {
+		return Result{}, err
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	return s.Solve(ctx, p, opts)
+}

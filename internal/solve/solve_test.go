@@ -1,0 +1,273 @@
+package solve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"secureview/internal/gen"
+	"secureview/internal/privacy"
+	"secureview/internal/secureview"
+	"secureview/internal/solve"
+)
+
+// within compares float cost sums up to the accumulation-order noise of
+// map-iterated summation (the harness's eps convention).
+func within(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+a+b)
+}
+
+func TestRegistryNamesAndCapabilities(t *testing.T) {
+	want := []string{"bb", "engine", "exact", "greedy", "lp"}
+	if got := solve.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	p := gen.Problem(gen.ProblemConfig{Modules: 4}, 1)
+	if s, _ := solve.Get("bb"); s.Supports(p, secureview.Set) == nil {
+		t.Error("bb claims to support the set variant")
+	}
+	if s, _ := solve.Get("bb"); s.Supports(p, secureview.Cardinality) != nil {
+		t.Error("bb rejects a valid cardinality instance")
+	}
+	// public-mix instances are outside the engine's cost model.
+	for seed := int64(0); seed < 20; seed++ {
+		pm := gen.Problem(gen.ProblemConfig{Modules: 6, PublicFrac: 1}, seed)
+		hasPublic := false
+		for _, m := range pm.Modules {
+			if m.Public {
+				hasPublic = true
+			}
+		}
+		if !hasPublic {
+			continue
+		}
+		if s, _ := solve.Get("engine"); s.Supports(pm, secureview.Set) == nil {
+			t.Error("engine claims to support an instance with public modules")
+		}
+		break
+	}
+	if _, err := solve.Solve(context.Background(), "nope", p, solve.Options{}); err == nil {
+		t.Error("unknown solver name did not error")
+	}
+}
+
+// TestRegistryAgreesWithDirectCalls is the compatibility contract: each
+// registered wrapper must reproduce its underlying solver bit for bit
+// (solutions and costs), and the exact family must agree with each other.
+func TestRegistryAgreesWithDirectCalls(t *testing.T) {
+	ctx := context.Background()
+	for _, pc := range gen.ProblemClasses() {
+		for seed := int64(0); seed < 5; seed++ {
+			p := gen.Problem(pc.Cfg, seed)
+			name := fmt.Sprintf("%s/seed=%d", pc.Name, seed)
+
+			// Set variant.
+			direct, err := secureview.ExactSet(p, 1<<22)
+			res, err2 := solve.Solve(ctx, "exact", p, solve.Options{Variant: secureview.Set})
+			if err != nil || err2 != nil {
+				t.Fatalf("%s: exact set err=%v registry err=%v", name, err, err2)
+			}
+			if !res.Optimal || !within(p.Cost(direct), res.Cost) {
+				t.Errorf("%s: registry exact cost %g (optimal=%v), direct %g", name, res.Cost, res.Optimal, p.Cost(direct))
+			}
+			for _, eng := range solve.For(p, secureview.Set) {
+				if eng.Name() != "engine" {
+					continue
+				}
+				er, err := solve.Solve(ctx, "engine", p, solve.Options{Variant: secureview.Set})
+				if err != nil {
+					t.Fatalf("%s: engine: %v", name, err)
+				}
+				if !within(er.Cost, res.Cost) {
+					t.Errorf("%s: engine cost %g != exact %g", name, er.Cost, res.Cost)
+				}
+				if er.Counters.Checked+er.Counters.Pruned == 0 {
+					t.Errorf("%s: engine reported no counters", name)
+				}
+			}
+
+			// Cardinality variant.
+			bbRes, err := solve.Solve(ctx, "bb", p, solve.Options{Variant: secureview.Cardinality})
+			if err != nil {
+				t.Fatalf("%s: bb: %v", name, err)
+			}
+			exRes, err := solve.Solve(ctx, "exact", p, solve.Options{Variant: secureview.Cardinality, MaxAttrs: 22})
+			if err != nil {
+				t.Fatalf("%s: exact card: %v", name, err)
+			}
+			if !within(bbRes.Cost, exRes.Cost) {
+				t.Errorf("%s: bb cost %g != exact card cost %g", name, bbRes.Cost, exRes.Cost)
+			}
+			if bbRes.Counters.Nodes == 0 || exRes.Counters.Nodes == 0 {
+				t.Errorf("%s: exact counters empty (bb=%d exact=%d)", name, bbRes.Counters.Nodes, exRes.Counters.Nodes)
+			}
+
+			// Heuristic certificates: feasible, ordered, and within their
+			// own Bound when one is attached.
+			for _, solver := range []string{"greedy", "lp"} {
+				for _, v := range []secureview.Variant{secureview.Set, secureview.Cardinality} {
+					hr, err := solve.Solve(ctx, solver, p, solve.Options{Variant: v})
+					if err != nil {
+						t.Fatalf("%s: %s/%v: %v", name, solver, v, err)
+					}
+					if !p.Feasible(hr.Solution, v) {
+						t.Errorf("%s: %s/%v solution infeasible", name, solver, v)
+					}
+					opt := exRes.Cost
+					if v == secureview.Set {
+						opt = res.Cost
+					}
+					if hr.Cost < opt-1e-9 {
+						t.Errorf("%s: %s/%v cost %g below optimum %g", name, solver, v, hr.Cost, opt)
+					}
+					if hr.Bound.Factor > 0 && hr.Cost > hr.Bound.Factor*opt+1e-9*(1+hr.Cost) {
+						t.Errorf("%s: %s/%v cost %g breaks its certificate %g×%g (%s)",
+							name, solver, v, hr.Cost, hr.Bound.Factor, opt, hr.Bound.Theorem)
+					}
+					if hr.Bound.LP > opt+1e-9*(1+opt) {
+						t.Errorf("%s: %s/%v LP bound %g above optimum %g", name, solver, v, hr.Bound.LP, opt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionSharesDerivations asserts the singleflight contract: N
+// goroutines requesting the same workflow fingerprint get the SAME derived
+// problem pointer from ONE derivation.
+func TestSessionSharesDerivations(t *testing.T) {
+	it := gen.MustNew(gen.Config{Topology: gen.Layered, Share: 2}, 3)
+	sess := solve.NewSession()
+	const workers = 8
+	got := make([]*secureview.Problem, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = sess.Problem(context.Background(), it.W, secureview.Set,
+				it.Gamma, it.Costs, it.PrivatizeCosts)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if got[i] != got[0] {
+			t.Fatalf("worker %d received a different problem pointer", i)
+		}
+	}
+	hits, misses := sess.Stats()
+	if misses != 1 || hits != workers-1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d/1", hits, misses, workers-1)
+	}
+	// A different variant is a different fingerprint.
+	if _, err := sess.Problem(context.Background(), it.W, secureview.Cardinality,
+		it.Gamma, it.Costs, it.PrivatizeCosts); err != nil {
+		t.Fatalf("cardinality derivation: %v", err)
+	}
+	if _, misses := sess.Stats(); misses != 2 {
+		t.Fatalf("cardinality request did not miss (misses=%d)", misses)
+	}
+	// The derived problem matches the instance's own derivation.
+	direct, err := it.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.ProblemFingerprint(direct) != gen.ProblemFingerprint(got[0]) {
+		t.Fatal("session-derived problem differs from Instance.Derive")
+	}
+}
+
+// TestSessionCompiledOracleShared: same module view, one compilation,
+// shared pointer; and the compiled oracle answers like the interpreted one.
+func TestSessionCompiledOracleShared(t *testing.T) {
+	it := gen.MustNew(gen.Config{Topology: gen.Chain, Modules: 3}, 1)
+	sess := solve.NewSession()
+	mv := privacy.NewModuleView(it.W.PrivateModules()[0])
+	a, err := sess.Compiled(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Compiled(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same module view compiled twice")
+	}
+}
+
+// TestSolveBatch shards a solver matrix over the pool and checks order,
+// completeness and cross-solver agreement of the results.
+func TestSolveBatch(t *testing.T) {
+	var jobs []solve.Job
+	var problems []*secureview.Problem
+	for seed := int64(0); seed < 6; seed++ {
+		p := gen.Problem(gen.ProblemConfig{Modules: 5}, seed)
+		problems = append(problems, p)
+		for _, s := range []string{"exact", "bb", "greedy", "lp"} {
+			jobs = append(jobs, solve.Job{
+				Name:    fmt.Sprintf("seed%d/%s", seed, s),
+				Problem: p,
+				Solver:  s,
+				Options: solve.Options{Variant: secureview.Cardinality},
+			})
+		}
+	}
+	results := solve.SolveBatch(context.Background(), jobs, 4)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Job.Name != jobs[i].Name {
+			t.Fatalf("result %d out of order: %s != %s", i, r.Job.Name, jobs[i].Name)
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Job.Name, r.Err)
+		}
+	}
+	// exact and bb agree per seed; heuristics are never cheaper.
+	for seed := 0; seed < 6; seed++ {
+		base := seed * 4
+		exact, bb := results[base].Result, results[base+1].Result
+		if !within(exact.Cost, bb.Cost) {
+			t.Errorf("seed %d: exact %g != bb %g", seed, exact.Cost, bb.Cost)
+		}
+		for _, heur := range []solve.Result{results[base+2].Result, results[base+3].Result} {
+			if heur.Cost < exact.Cost-1e-9 {
+				t.Errorf("seed %d: %s cost %g below optimum %g", seed, heur.Solver, heur.Cost, exact.Cost)
+			}
+			if !problems[seed].Feasible(heur.Solution, secureview.Cardinality) {
+				t.Errorf("seed %d: %s solution infeasible", seed, heur.Solver)
+			}
+		}
+	}
+}
+
+// TestSolveBatchCancelledContext: a dead batch context fails every job with
+// the context error instead of hanging or panicking.
+func TestSolveBatchCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := gen.Problem(gen.ProblemConfig{Modules: 4}, 1)
+	jobs := []solve.Job{
+		{Name: "a", Problem: p, Solver: "exact", Options: solve.Options{Variant: secureview.Set}},
+		{Name: "b", Problem: p, Solver: "greedy", Options: solve.Options{Variant: secureview.Set}},
+	}
+	for _, r := range solve.SolveBatch(ctx, jobs, 2) {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.Job.Name, r.Err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"secureview/internal/relation"
+	"secureview/internal/search"
+	"secureview/internal/secureview"
+)
+
+func init() {
+	Register(exactSolver{})
+	Register(bbSolver{})
+	Register(engineSolver{})
+	Register(greedySolver{})
+	Register(lpSolver{})
+}
+
+// finish assembles the common Result fields.
+func finish(name string, p *secureview.Problem, v secureview.Variant,
+	sol secureview.Solution, optimal bool, b Bound, c Counters) Result {
+	return Result{
+		Solver:   name,
+		Variant:  v,
+		Solution: sol,
+		Cost:     p.Cost(sol),
+		Optimal:  optimal,
+		Bound:    b,
+		Counters: c,
+	}
+}
+
+// partial wraps a budget/deadline error, attaching the incumbent when it is
+// feasible (the exact solvers' greedy seed always is; a cancelled
+// enumeration may have none).
+func partial(name string, p *secureview.Problem, v secureview.Variant,
+	sol secureview.Solution, c Counters, err error) (Result, error) {
+	res := Result{Solver: name, Variant: v, Counters: c}
+	if p.Feasible(sol, v) {
+		res.Solution = sol
+		res.Cost = p.Cost(sol)
+		res.Partial = true
+	}
+	return res, err
+}
+
+// exactSolver proves optimality by exhaustive search: per-module option
+// branch and bound for set constraints, useful-attribute subset enumeration
+// for cardinality constraints.
+type exactSolver struct{}
+
+func (exactSolver) Name() string { return "exact" }
+
+func (exactSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return p.Validate(v)
+}
+
+func (exactSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	var (
+		sol secureview.Solution
+		st  secureview.ExactStats
+		err error
+	)
+	if opts.Variant == secureview.Set {
+		sol, st, err = secureview.ExactSetCtx(ctx, p, opts.NodeBudget)
+	} else {
+		sol, st, err = secureview.ExactCardCtx(ctx, p, opts.MaxAttrs)
+	}
+	c := Counters{Nodes: st.Nodes}
+	if err != nil {
+		return partial("exact", p, opts.Variant, sol, c, err)
+	}
+	return finish("exact", p, opts.Variant, sol, true,
+		Bound{Factor: 1, Theorem: "exhaustive (Theorems 5/6 hardness)"}, c), nil
+}
+
+// bbSolver is the attribute-level branch and bound for the cardinality
+// variant, which scales further than enumeration when optima hide few
+// attributes.
+type bbSolver struct{}
+
+func (bbSolver) Name() string { return "bb" }
+
+func (bbSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	if v != secureview.Cardinality {
+		return fmt.Errorf("solve: bb handles only the cardinality variant")
+	}
+	return p.Validate(v)
+}
+
+func (bbSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	sol, st, err := secureview.ExactCardBBCtx(ctx, p, opts.NodeBudget)
+	c := Counters{Nodes: st.Nodes}
+	if err != nil {
+		return partial("bb", p, opts.Variant, sol, c, err)
+	}
+	return finish("bb", p, opts.Variant, sol, true,
+		Bound{Factor: 1, Theorem: "branch and bound (admissible completion bound)"}, c), nil
+}
+
+// engineSolver runs the pruned parallel subset-search engine of
+// internal/search over the problem's useful attributes, with feasibility as
+// the (monotone) safety oracle. It is exact, and the only registered solver
+// that fans one request out over a worker pool — but its cost model is
+// per-attribute only, so it requires an all-private instance (privatization
+// closure costs would make the objective non-linear in the hidden mask).
+type engineSolver struct{}
+
+func (engineSolver) Name() string { return "engine" }
+
+func (engineSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	if err := p.Validate(v); err != nil {
+		return err
+	}
+	for _, m := range p.Modules {
+		if m.Public {
+			return fmt.Errorf("solve: engine requires an all-private instance (public module %q)", m.Name)
+		}
+	}
+	if k := len(p.UsefulAttributes(v)); k > search.MaxAttrs {
+		return fmt.Errorf("solve: engine universe %d exceeds %d attributes", k, search.MaxAttrs)
+	}
+	return nil
+}
+
+func (engineSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	attrs := p.UsefulAttributes(opts.Variant)
+	sp, err := search.NewSpace(attrs, p.Costs.Of)
+	if err != nil {
+		return Result{}, err
+	}
+	// Hiding more only helps private modules (Proposition 1 at the
+	// requirement level), so safe visible sets are subset-closed and the
+	// engine's monotonicity pruning is sound.
+	none := relation.NewNameSet()
+	oracle := search.Oracle(func(visible search.Mask) (bool, error) {
+		hidden := sp.NameSet(sp.All() &^ visible)
+		return p.Feasible(secureview.Solution{Hidden: hidden, Privatized: none}, opts.Variant), nil
+	})
+	res, err := sp.MinCostCtx(ctx, oracle, search.Options{Parallelism: opts.Workers})
+	c := Counters{Checked: res.Stats.Checked, Pruned: res.Stats.Pruned}
+	if err != nil {
+		return Result{Solver: "engine", Variant: opts.Variant, Counters: c}, err
+	}
+	if !res.Found {
+		return Result{Solver: "engine", Variant: opts.Variant, Counters: c},
+			fmt.Errorf("solve: no feasible solution")
+	}
+	return finish("engine", p, opts.Variant, p.Complete(sp.NameSet(res.Hidden)), true,
+		Bound{Factor: 1, Theorem: "exhaustive over useful attributes (Proposition 1 pruning)"}, c), nil
+}
+
+// greedySolver is the per-module cheapest-option union.
+type greedySolver struct{}
+
+func (greedySolver) Name() string { return "greedy" }
+
+func (greedySolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return p.Validate(v)
+}
+
+func (greedySolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	sol, err := secureview.GreedyCtx(ctx, p, opts.Variant)
+	if err != nil {
+		return partial("greedy", p, opts.Variant, sol, Counters{}, err)
+	}
+	b := Bound{}
+	allPrivate := true
+	for _, m := range p.Modules {
+		if m.Public {
+			allPrivate = false
+			break
+		}
+	}
+	if allPrivate {
+		if mult := p.Multiplicity(); mult > 0 {
+			b = Bound{Factor: float64(mult), Theorem: "Theorem 7 ((γ+1)-approximation via attribute multiplicity)"}
+		}
+	}
+	return finish("greedy", p, opts.Variant, sol, false, b, Counters{}), nil
+}
+
+// lpSolver solves the variant's LP relaxation and rounds: the deterministic
+// ℓmax threshold for set constraints (Theorem 6 / appendix C.4), the
+// randomized O(log n) rounding of Algorithm 1 for cardinality constraints
+// (Theorem 5).
+type lpSolver struct{}
+
+func (lpSolver) Name() string { return "lp" }
+
+func (lpSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return p.Validate(v)
+}
+
+func (lpSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if opts.Variant == secureview.Set {
+		sol, lpVal, err := secureview.SetLPRoundCtx(ctx, p)
+		if err != nil {
+			return Result{Solver: "lp", Variant: opts.Variant}, err
+		}
+		return finish("lp", p, opts.Variant, sol, false,
+			Bound{LP: lpVal, Factor: float64(p.LMax(secureview.Set)), Theorem: "Theorem 6 (ℓmax × LP)"},
+			Counters{}), nil
+	}
+	sol, lpVal, err := secureview.CardinalityLPRoundCtx(ctx, p, secureview.RoundingOptions{
+		Trials: opts.Trials,
+		Rng:    rand.New(rand.NewSource(opts.Seed)),
+	})
+	if err != nil {
+		return partial("lp", p, opts.Variant, sol, Counters{}, err)
+	}
+	return finish("lp", p, opts.Variant, sol, false,
+		Bound{LP: lpVal, Theorem: "Theorem 5 (O(log n) w.h.p.)"}, Counters{}), nil
+}

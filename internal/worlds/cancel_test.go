@@ -1,0 +1,104 @@
+package worlds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"secureview/internal/module"
+	"secureview/internal/relation"
+	"secureview/internal/workflow"
+)
+
+// heavyEnumerator builds a k=3 Proposition 2 chain with four hidden
+// attributes — an enumeration with billions of candidate assignments, far
+// beyond any 50ms of wall clock — and an effectively unlimited budget so
+// only cancellation can stop it.
+func heavyEnumerator(workers int) *Enumerator {
+	k := 3
+	bits := func(level int) []string {
+		out := make([]string, k)
+		for b := 0; b < k; b++ {
+			out[b] = fmt.Sprintf("x%d_%d", level, b)
+		}
+		return out
+	}
+	m1 := module.Identity("m1", bits(0), bits(1))
+	m2 := module.Complement("m2", bits(1), bits(2))
+	w := workflow.MustNew("prop2-heavy", m1, m2)
+	hidden := relation.NewNameSet("x1_0", "x1_1", "x1_2", "x2_0")
+	return &Enumerator{
+		W: w, R: w.MustRelation(),
+		Visible: relation.NewNameSet(w.Schema().Names()...).Minus(hidden),
+		Budget:  1 << 62,
+		Workers: workers,
+	}
+}
+
+// TestCountCtxDeadline: a 50ms deadline stops the sharded worlds walk
+// within one candidate assignment, on both the sequential and the parallel
+// paths.
+func TestCountCtxDeadline(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			e := heavyEnumerator(workers)
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := e.CountCtx(ctx)
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded (elapsed %v)", err, elapsed)
+			}
+			if elapsed > 2*time.Second {
+				t.Fatalf("took %v to notice a 50ms deadline", elapsed)
+			}
+		})
+	}
+}
+
+// TestIsWorkflowPrivateCtxDeadline covers the OUT-set path (outSets) under
+// cancellation, and that an already-expired context fails fast.
+func TestIsWorkflowPrivateCtxDeadline(t *testing.T) {
+	e := heavyEnumerator(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.IsWorkflowPrivateCtx(ctx, "m1", 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("took %v to notice a 50ms deadline", elapsed)
+	}
+
+	expired, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := e.CountCtx(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEachWorldCtxUncancelled: a background context changes nothing — the
+// walk completes with the same count as the legacy entry point.
+func TestEachWorldCtxUncancelled(t *testing.T) {
+	w := workflow.Fig1()
+	e := &Enumerator{W: w, R: w.MustRelation(),
+		Visible: relation.NewNameSet("a1", "a2", "a3", "a5", "a6")}
+	want, err := e.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(0)
+	if err := e.EachWorldCtx(context.Background(), func([]relation.Tuple) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("EachWorldCtx visited %d worlds, Count says %d", n, want)
+	}
+}

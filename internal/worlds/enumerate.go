@@ -1,6 +1,7 @@
 package worlds
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -268,19 +269,53 @@ func (w *walker) setRowAssignment(r int, a uint64) {
 	}
 }
 
+// watchCancel raises the walkers' shared stop flag (and its own cancelled
+// flag) when ctx is cancelled, so every walker aborts at its next candidate
+// assignment — the same granularity as the budget check, hence prompt even
+// on huge enumerations. The returned release func must be called (deferred)
+// to reclaim the watcher goroutine.
+func watchCancel(ctx context.Context, stop *atomic.Bool) (cancelled *atomic.Bool, release func()) {
+	cancelled = new(atomic.Bool)
+	done := ctx.Done()
+	if done == nil {
+		return cancelled, func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			cancelled.Store(true)
+			stop.Store(true)
+		case <-quit:
+		}
+	}()
+	return cancelled, func() { close(quit) }
+}
+
 // EachWorld calls fn with the rows of every possible world, in a fixed
 // deterministic order. The slice (and its tuples) are reused; fn must copy
 // what it keeps. Returning false stops enumeration. The error reports
 // configuration problems or budget exhaustion (ErrBudgetExhausted).
 func (e *Enumerator) EachWorld(fn func(rows []relation.Tuple) bool) error {
+	return e.EachWorldCtx(context.Background(), fn)
+}
+
+// EachWorldCtx is EachWorld with cancellation, observed before every
+// candidate assignment; on expiry it returns ctx.Err().
+func (e *Enumerator) EachWorldCtx(ctx context.Context, fn func(rows []relation.Tuple) bool) error {
 	p, err := e.plan()
 	if err != nil {
 		return err
 	}
 	var explored atomic.Uint64
 	var over, stop atomic.Bool
+	cancelled, release := watchCancel(ctx, &stop)
+	defer release()
 	w := newWalker(p, &explored, &over, &stop, fn)
 	w.assignRow(0)
+	if cancelled.Load() {
+		return ctx.Err()
+	}
 	if over.Load() {
 		return fmt.Errorf("%w (budget %d)", ErrBudgetExhausted, p.budget)
 	}
@@ -294,7 +329,7 @@ func (e *Enumerator) EachWorld(fn func(rows []relation.Tuple) bool) error {
 // differs). fn is invoked concurrently — it receives the worker index and
 // must confine mutation to per-worker state; returning false stops every
 // worker.
-func (e *Enumerator) eachWorldParallel(workers int,
+func (e *Enumerator) eachWorldParallel(ctx context.Context, workers int,
 	fn func(worker int, rows []relation.Tuple) bool) error {
 	p, err := e.plan()
 	if err != nil {
@@ -302,12 +337,17 @@ func (e *Enumerator) eachWorldParallel(workers int,
 	}
 	var explored atomic.Uint64
 	var over, stop atomic.Bool
+	cancelled, release := watchCancel(ctx, &stop)
+	defer release()
 
 	if len(p.baseRows) == 0 || len(p.hiddenCols) == 0 || workers <= 1 {
 		// Degenerate task space (or explicitly sequential): one walker.
 		w := newWalker(p, &explored, &over, &stop,
 			func(rows []relation.Tuple) bool { return fn(0, rows) })
 		w.assignRow(0)
+		if cancelled.Load() {
+			return ctx.Err()
+		}
 		if over.Load() {
 			return fmt.Errorf("%w (budget %d)", ErrBudgetExhausted, p.budget)
 		}
@@ -349,6 +389,9 @@ func (e *Enumerator) eachWorldParallel(workers int,
 		}(id)
 	}
 	wg.Wait()
+	if cancelled.Load() {
+		return ctx.Err()
+	}
 	if over.Load() {
 		return fmt.Errorf("%w (budget %d)", ErrBudgetExhausted, p.budget)
 	}
@@ -358,8 +401,15 @@ func (e *Enumerator) eachWorldParallel(workers int,
 // Count returns the number of possible worlds, sharding the enumeration
 // across the configured workers.
 func (e *Enumerator) Count() (uint64, error) {
+	return e.CountCtx(context.Background())
+}
+
+// CountCtx is Count with cancellation, observed by every worker before each
+// candidate assignment; on expiry it returns ctx.Err() and the partial
+// count.
+func (e *Enumerator) CountCtx(ctx context.Context) (uint64, error) {
 	var n atomic.Uint64
-	err := e.eachWorldParallel(e.workers(), func(int, []relation.Tuple) bool {
+	err := e.eachWorldParallel(ctx, e.workers(), func(int, []relation.Tuple) bool {
 		n.Add(1)
 		return true
 	})
@@ -427,7 +477,7 @@ func (tl *targetLayout) queryCode(x relation.Tuple) (uint64, bool, error) {
 // make its OUT set the full output space (the vacuous-implication reading of
 // Definition 5). Per-worker bitsets are merged at the end. vacuous[i]
 // reports the full-space case.
-func (e *Enumerator) outSets(tl *targetLayout, queries []uint64) (bits []oracle.Bitset, vacuous []bool, err error) {
+func (e *Enumerator) outSets(ctx context.Context, tl *targetLayout, queries []uint64) (bits []oracle.Bitset, vacuous []bool, err error) {
 	workers := e.workers()
 	qidx := make(map[uint64]int, len(queries))
 	for i, q := range queries {
@@ -446,7 +496,7 @@ func (e *Enumerator) outSets(tl *targetLayout, queries []uint64) (bits []oracle.
 		states[w] = make([]int64, len(queries))
 	}
 
-	err = e.eachWorldParallel(workers, func(worker int, rows []relation.Tuple) bool {
+	err = e.eachWorldParallel(ctx, workers, func(worker int, rows []relation.Tuple) bool {
 		st := states[worker]
 		for i := range st {
 			st[i] = -1 // unseen
@@ -510,6 +560,12 @@ func (e *Enumerator) outSets(tl *targetLayout, queries []uint64) (bits []oracle.
 // makes privatization effective (section 5.1). The result is in ascending
 // output-code order (the EachTuple order).
 func (e *Enumerator) OutSet(target string, x relation.Tuple) ([]relation.Tuple, error) {
+	return e.OutSetCtx(context.Background(), target, x)
+}
+
+// OutSetCtx is OutSet with cancellation, observed by every enumeration
+// worker before each candidate assignment; on expiry it returns ctx.Err().
+func (e *Enumerator) OutSetCtx(ctx context.Context, target string, x relation.Tuple) ([]relation.Tuple, error) {
 	m := e.W.Module(target)
 	if m == nil {
 		return nil, fmt.Errorf("worlds: no module %q", target)
@@ -526,7 +582,7 @@ func (e *Enumerator) OutSet(target string, x relation.Tuple) ([]relation.Tuple, 
 		// x occurs in no world: every output is possible.
 		return relation.AllTuples(tl.outSchema), nil
 	}
-	bits, vacuous, err := e.outSets(tl, []uint64{code})
+	bits, vacuous, err := e.outSets(ctx, tl, []uint64{code})
 	if err != nil {
 		return nil, err
 	}
@@ -565,6 +621,13 @@ func (e *Enumerator) queriesFromRelation(tl *targetLayout) ([]uint64, error) {
 // every input x the module receives in R. All OUT sets are computed in one
 // sharded pass over the possible worlds.
 func (e *Enumerator) IsWorkflowPrivate(target string, gamma uint64) (bool, error) {
+	return e.IsWorkflowPrivateCtx(context.Background(), target, gamma)
+}
+
+// IsWorkflowPrivateCtx is IsWorkflowPrivate with cancellation, observed by
+// every enumeration worker before each candidate assignment; on expiry it
+// returns ctx.Err().
+func (e *Enumerator) IsWorkflowPrivateCtx(ctx context.Context, target string, gamma uint64) (bool, error) {
 	m := e.W.Module(target)
 	if m == nil {
 		return false, fmt.Errorf("worlds: no module %q", target)
@@ -577,7 +640,7 @@ func (e *Enumerator) IsWorkflowPrivate(target string, gamma uint64) (bool, error
 	if err != nil {
 		return false, err
 	}
-	bits, vacuous, err := e.outSets(tl, queries)
+	bits, vacuous, err := e.outSets(ctx, tl, queries)
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package worlds
 
 import (
+	"context"
 	"fmt"
 
 	"secureview/internal/module"
@@ -49,6 +50,14 @@ type HidingProblem struct {
 // Stats.Checked counts full enumerator evaluations — each one exponential —
 // so the Pruned column is where the engine earns its keep here.
 func (hp HidingProblem) MinCostHiding(opts search.Options) (relation.NameSet, float64, bool, search.Stats, error) {
+	return hp.MinCostHidingCtx(context.Background(), opts)
+}
+
+// MinCostHidingCtx is MinCostHiding with cancellation: the context reaches
+// both the engine's candidate loop and every inner worlds enumeration, so a
+// deadline interrupts even a single in-flight exponential safety test at its
+// next candidate assignment. On expiry it returns ctx.Err().
+func (hp HidingProblem) MinCostHidingCtx(ctx context.Context, opts search.Options) (relation.NameSet, float64, bool, search.Stats, error) {
 	if hp.W == nil || hp.R == nil {
 		return nil, 0, false, search.Stats{}, fmt.Errorf("worlds: hiding search needs a workflow and relation")
 	}
@@ -125,7 +134,7 @@ func (hp HidingProblem) MinCostHiding(opts search.Options) (relation.NameSet, fl
 			Workers:    enumWorkers,
 		}
 		for _, tp := range plans {
-			bits, vacuous, err := e.outSets(tp.layout, tp.queries)
+			bits, vacuous, err := e.outSets(ctx, tp.layout, tp.queries)
 			if err != nil {
 				return false, err
 			}
@@ -141,7 +150,7 @@ func (hp HidingProblem) MinCostHiding(opts search.Options) (relation.NameSet, fl
 		}
 		return true, nil
 	})
-	res, err := sp.MinCost(oracle, opts)
+	res, err := sp.MinCostCtx(ctx, oracle, opts)
 	if err != nil {
 		return nil, 0, false, res.Stats, err
 	}

@@ -1,6 +1,8 @@
 package worlds
 
 import (
+	"context"
+
 	"secureview/internal/relation"
 	"secureview/internal/workflow"
 )
@@ -14,6 +16,14 @@ import (
 // enumerate. A zero budget uses the Enumerator default.
 func VerifyPrivate(w *workflow.Workflow, r *relation.Relation, visible relation.NameSet,
 	privatized relation.NameSet, targets []string, gamma uint64, budget uint64) (failed string, err error) {
+	return VerifyPrivateCtx(context.Background(), w, r, visible, privatized, targets, gamma, budget)
+}
+
+// VerifyPrivateCtx is VerifyPrivate with cancellation, observed by every
+// enumeration worker before each candidate assignment; on expiry it returns
+// ctx.Err() naming the target whose verification was interrupted.
+func VerifyPrivateCtx(ctx context.Context, w *workflow.Workflow, r *relation.Relation, visible relation.NameSet,
+	privatized relation.NameSet, targets []string, gamma uint64, budget uint64) (failed string, err error) {
 	if len(targets) == 0 {
 		for _, m := range w.PrivateModules() {
 			targets = append(targets, m.Name())
@@ -21,7 +31,7 @@ func VerifyPrivate(w *workflow.Workflow, r *relation.Relation, visible relation.
 	}
 	e := &Enumerator{W: w, R: r, Visible: visible, Privatized: privatized, Budget: budget}
 	for _, name := range targets {
-		ok, err := e.IsWorkflowPrivate(name, gamma)
+		ok, err := e.IsWorkflowPrivateCtx(ctx, name, gamma)
 		if err != nil {
 			return name, err
 		}
