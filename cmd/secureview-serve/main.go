@@ -1,0 +1,94 @@
+// Command secureview-serve exposes the internal/solve registry over
+// HTTP/JSON: solve requests arrive as internal/spec workflow documents or
+// as internal/gen (class, seed) scenario references, run under bounded
+// admission with per-request deadlines, and return bound-certified results
+// (Theorem 6/7 factors, LP lower bound) with partial incumbents on
+// deadline. See internal/server for the endpoint and status semantics.
+//
+// Usage:
+//
+//	secureview-serve                       # listen on :8080
+//	secureview-serve -addr 127.0.0.1:0     # free port, printed on startup
+//	secureview-serve -inflight 32 -timeout 10s -session-mb 512
+//
+// Try it:
+//
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "generated": {"class": "chain", "seed": 1},
+//	  "solver": "exact", "variant": "set"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secureview/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		inflight     = flag.Int("inflight", 0, "max concurrent solve/batch requests before 429 (0 = 2×GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested deadlines")
+		sessionMB    = flag.Int64("session-mb", 256, "Session cache budget in MiB (0 = unbounded)")
+		batchWorkers = flag.Int("batch-workers", 0, "SolveBatch pool size (0 = GOMAXPROCS)")
+		maxBatch     = flag.Int("max-batch", 64, "max jobs per batch request")
+	)
+	flag.Parse()
+
+	sessionBytes := *sessionMB << 20
+	if *sessionMB == 0 {
+		sessionBytes = -1 // server Config: <0 = unbounded
+	}
+	srv := server.New(server.Config{
+		MaxInFlight:    *inflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		SessionBytes:   sessionBytes,
+		BatchWorkers:   *batchWorkers,
+		MaxBatchJobs:   *maxBatch,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secureview-serve: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Print the resolved address so scripts (and humans) can use port 0.
+	fmt.Printf("secureview-serve listening on http://%s\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "secureview-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("secureview-serve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "secureview-serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

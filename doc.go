@@ -26,10 +26,17 @@
 //	internal/solve       unified solver layer: Solver registry over all five
 //	                     code paths with uniform Options and bound-certified
 //	                     Results, fingerprint-keyed Session caches (derived
-//	                     problems, compiled oracle tables) shared across
-//	                     goroutines, SolveBatch worker-pool front-end with
-//	                     per-job deadlines; every solver observes ctx within
-//	                     one pruning epoch
+//	                     problems, compiled oracle tables; length-prefixed
+//	                     collision-proof hashing, size-accounted LRU
+//	                     eviction) shared across goroutines, SolveBatch
+//	                     worker-pool front-end with per-job deadlines; every
+//	                     solver observes ctx within one pruning epoch
+//	internal/server      HTTP/JSON front-end over the solve registry:
+//	                     bounded admission (429 on overload), per-request
+//	                     deadlines mapped to solve.Options.Timeout (206
+//	                     partial incumbents on expiry), batch endpoint over
+//	                     SolveBatch, spec- and generated-(class, seed)
+//	                     request forms, byte-capped shared Session
 //	internal/lp          two-phase simplex (substrate)
 //	internal/sat         CNF + DPLL (substrate for Theorem 2)
 //	internal/combopt     set/vertex/label cover (reduction sources)
@@ -45,7 +52,8 @@
 //	                     possible-world verification on small instances
 //	internal/exp         experiment registry E1–E23
 //
-// Entry points: cmd/secureview (solve instances), cmd/secureview-bench
-// (reproduce the experiment tables), cmd/worlds (world counting), and the
-// runnable programs under examples/. See DESIGN.md and EXPERIMENTS.md.
+// Entry points: cmd/secureview (solve instances), cmd/secureview-serve
+// (serve the solver layer over HTTP), cmd/secureview-bench (reproduce the
+// experiment tables), cmd/worlds (world counting), and the runnable
+// programs under examples/. See DESIGN.md and EXPERIMENTS.md.
 package secureview

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+
+	"secureview/internal/secureview"
+	"secureview/internal/solve"
+	"secureview/internal/spec"
+)
+
+// SolveRequest is the wire shape of one solve job. Exactly one of Spec and
+// Generated names the instance:
+//
+//   - Spec is an internal/spec workflow document (modules with truth tables
+//     or built-in kinds, costs, Γ); the server derives the Secure-View
+//     problem through its shared Session, so repeated requests against the
+//     same workflow content pay one derivation.
+//   - Generated is a (class, seed) reference into the internal/gen scenario
+//     space: workflow topology classes (gen.Classes) derive like specs;
+//     abstract instance classes (gen.ProblemClasses) are generated directly.
+type SolveRequest struct {
+	Spec      *spec.Document `json:"spec,omitempty"`
+	Generated *GeneratedRef  `json:"generated,omitempty"`
+	// Solver is the internal/solve registry key (see GET /v1/solvers).
+	Solver string `json:"solver"`
+	// Variant is "set" (default) or "cardinality".
+	Variant string `json:"variant,omitempty"`
+	// Gamma overrides the document's or class's privacy requirement (0 =
+	// keep the instance's own Γ, or 2 when neither specifies one).
+	Gamma uint64 `json:"gamma,omitempty"`
+	// TimeoutMs bounds this request (0 = the server's default deadline;
+	// values above the server's maximum are clamped). The deadline maps to
+	// solve.Options.Timeout and propagates through the solver cancellation
+	// contract, so expiry surfaces within one pruning epoch.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Options tunes the solver budgets (zero fields keep solve defaults).
+	Options *OptionsSpec `json:"options,omitempty"`
+}
+
+// GeneratedRef names a generated scenario: Class is a gen.Classes workflow
+// topology class or a gen.ProblemClasses abstract-instance class, Seed the
+// deterministic generator seed.
+type GeneratedRef struct {
+	Class string `json:"class"`
+	Seed  int64  `json:"seed"`
+}
+
+// OptionsSpec mirrors the tunable subset of solve.Options.
+type OptionsSpec struct {
+	NodeBudget int   `json:"nodeBudget,omitempty"`
+	MaxAttrs   int   `json:"maxAttrs,omitempty"`
+	Workers    int   `json:"workers,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	Trials     int   `json:"trials,omitempty"`
+}
+
+// SolveResponse is the wire shape of a solve outcome. Status is "optimal"
+// when optimality was proven, "feasible" for a certified heuristic answer,
+// and "partial" when the deadline expired but the solver carried a feasible
+// incumbent out (served with HTTP 206, the cmd/secureview exit-code-3
+// analog).
+type SolveResponse struct {
+	Status     string       `json:"status"`
+	Solver     string       `json:"solver"`
+	Variant    string       `json:"variant"`
+	Hidden     []string     `json:"hidden"`
+	Privatized []string     `json:"privatized"`
+	Cost       float64      `json:"cost"`
+	Optimal    bool         `json:"optimal"`
+	Partial    bool         `json:"partial"`
+	Bound      BoundSpec    `json:"bound"`
+	Counters   CountersSpec `json:"counters"`
+	ElapsedMs  int64        `json:"elapsedMs"`
+}
+
+// BoundSpec is the certificate attached to a result: the LP lower bound
+// and the proven approximation factor with the paper theorem backing it.
+type BoundSpec struct {
+	LP      float64 `json:"lp,omitempty"`
+	Factor  float64 `json:"factor,omitempty"`
+	Theorem string  `json:"theorem,omitempty"`
+}
+
+// CountersSpec reports search effort.
+type CountersSpec struct {
+	Nodes   int `json:"nodes,omitempty"`
+	Checked int `json:"checked,omitempty"`
+	Pruned  int `json:"pruned,omitempty"`
+}
+
+// BatchRequest runs up to the server's job cap through solve.SolveBatch.
+type BatchRequest struct {
+	Jobs []SolveRequest `json:"jobs"`
+}
+
+// BatchResult is one job's outcome: Response on success or partial,
+// Error otherwise. Code carries the HTTP status the job would have
+// received as a single request.
+type BatchResult struct {
+	Code     int            `json:"code"`
+	Response *SolveResponse `json:"response,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// BatchResponse pairs results with the request's jobs, in order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// StatsResponse is the GET /v1/stats payload: shared-Session cache
+// effectiveness and occupancy (eviction observable via Evictions/Bytes),
+// plus the admission gauge.
+type StatsResponse struct {
+	Session  solve.SessionStats `json:"session"`
+	InFlight int64              `json:"inFlight"`
+	Capacity int                `json:"capacity"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseVariant maps the wire name to the secureview constant.
+func parseVariant(s string) (secureview.Variant, error) {
+	switch s {
+	case "", "set":
+		return secureview.Set, nil
+	case "cardinality", "card":
+		return secureview.Cardinality, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (want set | cardinality)", s)
+	}
+}
+
+// variantName is the inverse of parseVariant for responses.
+func variantName(v secureview.Variant) string {
+	if v == secureview.Cardinality {
+		return "cardinality"
+	}
+	return "set"
+}
+
+// solveOptions lowers the wire options onto solve.Options.
+func (r *SolveRequest) solveOptions(v secureview.Variant) solve.Options {
+	opts := solve.Options{Variant: v}
+	if o := r.Options; o != nil {
+		opts.NodeBudget = o.NodeBudget
+		opts.MaxAttrs = o.MaxAttrs
+		opts.Workers = o.Workers
+		opts.Seed = o.Seed
+		opts.Trials = o.Trials
+	}
+	return opts
+}
+
+// sortedNames renders a name set as a JSON-friendly sorted slice (never
+// null).
+func sortedNames(s interface{ Sorted() []string }) []string {
+	out := s.Sorted()
+	if out == nil {
+		out = []string{}
+	}
+	return out
+}

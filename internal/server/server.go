@@ -1,0 +1,515 @@
+// Package server is the HTTP/JSON front-end over the internal/solve
+// registry: it turns the library's Session caching, SolveBatch sharding and
+// end-to-end cancellation contract into a long-running network service.
+//
+// Endpoints:
+//
+//	GET  /healthz     liveness probe
+//	GET  /v1/solvers  registered solver names
+//	GET  /v1/stats    shared-Session cache stats and the admission gauge
+//	POST /v1/solve    one SolveRequest -> SolveResponse
+//	POST /v1/batch    BatchRequest -> BatchResponse via solve.SolveBatch
+//
+// Admission: at most Config.MaxInFlight solver jobs run at once — a solve
+// weighs one slot, a batch weighs min(jobs, BatchWorkers), its true
+// concurrency; excess requests are rejected immediately with 429 and a
+// Retry-After hint instead of queueing, so load sheds at the edge and
+// in-flight work keeps its latency. Every admitted request gets a deadline (the client's
+// timeoutMs clamped to Config.MaxTimeout, or Config.DefaultTimeout) that
+// maps to solve.Options.Timeout and gates the Session derivation, so a
+// request expires within one pruning epoch wherever it is. A deadline
+// expiry with a feasible incumbent returns 206 with status "partial" — the
+// HTTP analog of cmd/secureview's exit code 3 — and one without returns
+// 504.
+//
+// The shared Session is size-accounted: derived problems and compiled
+// oracle tables are evicted least-recently-used beyond Config.SessionBytes,
+// so serving an unbounded stream of distinct workflows holds steady-state
+// memory (watch /v1/stats to size the budget).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secureview/internal/gen"
+	"secureview/internal/privacy"
+	"secureview/internal/secureview"
+	"secureview/internal/solve"
+)
+
+// Config sizes the server. The zero value is usable; every field has a
+// production-minded default.
+type Config struct {
+	// MaxInFlight bounds concurrently running solver jobs (default
+	// 2×GOMAXPROCS); a solve weighs 1 slot, a batch min(jobs,
+	// BatchWorkers). Requests that cannot claim their weight get 429.
+	// Must be ≥ BatchWorkers for full-width batches to be admissible.
+	MaxInFlight int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (default 5m).
+	MaxTimeout time.Duration
+	// SessionBytes is the shared Session's LRU byte budget
+	// (default 256 MiB; <0 = unbounded).
+	SessionBytes int64
+	// BatchWorkers is the SolveBatch pool size (default GOMAXPROCS).
+	BatchWorkers int
+	// MaxBatchJobs bounds jobs per batch request (default 64).
+	MaxBatchJobs int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.SessionBytes == 0 {
+		c.SessionBytes = 256 << 20
+	}
+	if c.SessionBytes < 0 {
+		c.SessionBytes = 0 // unbounded
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server serves the solve registry over HTTP. Create with New; safe for
+// concurrent use.
+type Server struct {
+	cfg      Config
+	sess     *solve.Session
+	sem      chan struct{}
+	inFlight atomic.Int64
+}
+
+// New builds a server with its own size-capped Session.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:  cfg,
+		sess: solve.NewSessionBytes(cfg.SessionBytes),
+		sem:  make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Session exposes the shared cache (stats, tests).
+func (s *Server) Session() *solve.Session { return s.sess }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/solvers", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"solvers": solve.Names()})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, StatsResponse{
+			Session:  s.sess.Stats(),
+			InFlight: s.inFlight.Load(),
+			Capacity: s.cfg.MaxInFlight,
+		})
+	})
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	return mux
+}
+
+// admit claims n admission slots without queueing, so MaxInFlight bounds
+// concurrently running solver jobs rather than HTTP requests: a single
+// solve weighs 1, a batch weighs the number of jobs it can actually run at
+// once. The release func is nil when fewer than n slots are free (partial
+// claims are rolled back before returning).
+func (s *Server) admit(n int) func() {
+	for taken := 0; taken < n; taken++ {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			for ; taken > 0; taken-- {
+				<-s.sem
+			}
+			return nil
+		}
+	}
+	s.inFlight.Add(int64(n))
+	released := false
+	return func() {
+		if !released {
+			released = true
+			s.inFlight.Add(-int64(n))
+			for i := 0; i < n; i++ {
+				<-s.sem
+			}
+		}
+	}
+}
+
+// timeout clamps the client's requested deadline.
+func (s *Server) timeout(ms int64) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	release := s.admit(1)
+	if release == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("server saturated (%d job slots in use)", s.cfg.MaxInFlight))
+		return
+	}
+	defer release()
+
+	d := s.timeout(req.TimeoutMs)
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	code, resp, errMsg := s.runJob(ctx, &req, d)
+	if errMsg != "" {
+		writeError(w, code, errMsg)
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d jobs exceeds the %d-job cap", len(req.Jobs), s.cfg.MaxBatchJobs))
+		return
+	}
+	// A batch runs at most min(jobs, BatchWorkers) solver jobs at once, so
+	// that is its admission weight — MaxInFlight bounds real concurrency
+	// whether load arrives as single solves or batches.
+	weight := len(req.Jobs)
+	if weight > s.cfg.BatchWorkers {
+		weight = s.cfg.BatchWorkers
+	}
+	release := s.admit(weight)
+	if release == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("server saturated (batch needs %d of %d job slots)", weight, s.cfg.MaxInFlight))
+		return
+	}
+	defer release()
+
+	// The batch as a whole runs under the server's ceiling; each job
+	// carries its own clamped deadline through solve.Options.Timeout, and
+	// each job's Session derivation is gated by that same deadline, so a
+	// job naming a heavy workflow expires to its own 504 instead of
+	// stalling the batch. Resolution fans out over the same worker count
+	// as the solve pool — derivation dominates end-to-end latency, and the
+	// shared Session singleflights duplicate fingerprints across workers.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
+	defer cancel()
+
+	type resolvedJob struct {
+		v      secureview.Variant
+		p      *secureview.Problem
+		code   int
+		errMsg string
+	}
+	resolved := make([]resolvedJob, len(req.Jobs))
+	workers := weight
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(req.Jobs) {
+					return
+				}
+				jr := &req.Jobs[i]
+				jctx, jcancel := context.WithTimeout(ctx, s.timeout(jr.TimeoutMs))
+				v, p, code, errMsg := s.resolve(jctx, jr)
+				jcancel()
+				resolved[i] = resolvedJob{v: v, p: p, code: code, errMsg: errMsg}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := BatchResponse{Results: make([]BatchResult, len(req.Jobs))}
+	jobs := make([]solve.Job, 0, len(req.Jobs))
+	jobIdx := make([]int, 0, len(req.Jobs))
+	for i, rj := range resolved {
+		if rj.errMsg != "" {
+			out.Results[i] = BatchResult{Code: rj.code, Error: rj.errMsg}
+			continue
+		}
+		jr := &req.Jobs[i]
+		opts := jr.solveOptions(rj.v)
+		opts.Timeout = s.timeout(jr.TimeoutMs)
+		jobs = append(jobs, solve.Job{
+			Name:    fmt.Sprintf("job%d", i),
+			Problem: rj.p,
+			Solver:  jr.Solver,
+			Options: opts,
+		})
+		jobIdx = append(jobIdx, i)
+	}
+	for j, res := range solve.SolveBatch(ctx, jobs, workers) {
+		i := jobIdx[j]
+		elapsed := int64(0) // per-job wall clock is folded into the batch
+		code, resp, errMsg := mapOutcome(res.Result, res.Err, elapsed)
+		out.Results[i] = BatchResult{Code: code, Response: resp, Error: errMsg}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runJob resolves and solves one request, returning the HTTP status, the
+// response on success/partial, or an error message.
+func (s *Server) runJob(ctx context.Context, req *SolveRequest, d time.Duration) (int, *SolveResponse, string) {
+	v, p, code, errMsg := s.resolve(ctx, req)
+	if errMsg != "" {
+		return code, nil, errMsg
+	}
+	opts := req.solveOptions(v)
+	opts.Timeout = d
+	start := time.Now()
+	res, err := solve.Solve(ctx, req.Solver, p, opts)
+	return mapOutcome(res, err, time.Since(start).Milliseconds())
+}
+
+// resolve materializes the request's problem: a spec document or a
+// generated (class, seed) reference, derived through the shared Session
+// when a workflow is involved.
+func (s *Server) resolve(ctx context.Context, req *SolveRequest) (secureview.Variant, *secureview.Problem, int, string) {
+	v, err := parseVariant(req.Variant)
+	if err != nil {
+		return 0, nil, http.StatusBadRequest, err.Error()
+	}
+	sv, ok := solve.Get(req.Solver)
+	if !ok {
+		return 0, nil, http.StatusBadRequest,
+			fmt.Sprintf("unknown solver %q (have %v)", req.Solver, solve.Names())
+	}
+	if (req.Spec == nil) == (req.Generated == nil) {
+		return 0, nil, http.StatusBadRequest, "exactly one of spec and generated must be set"
+	}
+
+	var p *secureview.Problem
+	switch {
+	case req.Spec != nil:
+		p, err = s.resolveSpec(ctx, req, v)
+	default:
+		p, err = s.resolveGenerated(ctx, req, v)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, secureview.ErrInfeasible):
+		return 0, nil, http.StatusUnprocessableEntity, err.Error()
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return 0, nil, http.StatusGatewayTimeout, "deadline expired while deriving the instance"
+	default:
+		return 0, nil, http.StatusBadRequest, err.Error()
+	}
+	if err := sv.Supports(p, v); err != nil {
+		return 0, nil, http.StatusBadRequest, err.Error()
+	}
+	return v, p, http.StatusOK, ""
+}
+
+func (s *Server) resolveSpec(ctx context.Context, req *SolveRequest, v secureview.Variant) (*secureview.Problem, error) {
+	doc := req.Spec
+	if len(doc.GammaPerModule) > 0 {
+		return nil, fmt.Errorf("gammaPerModule documents are not servable (one Γ per request)")
+	}
+	w, err := doc.Build()
+	if err != nil {
+		return nil, err
+	}
+	gamma := req.Gamma
+	if gamma == 0 {
+		gamma = doc.Gamma
+	}
+	if gamma == 0 {
+		gamma = 2
+	}
+	costs := privacy.Costs(doc.Costs)
+	if len(costs) == 0 {
+		costs = privacy.Uniform(w.Schema().Names()...)
+	}
+	return s.sess.Problem(ctx, w, v, gamma, costs, doc.PrivatizeCosts)
+}
+
+func (s *Server) resolveGenerated(ctx context.Context, req *SolveRequest, v secureview.Variant) (*secureview.Problem, error) {
+	ref := req.Generated
+	for _, c := range gen.Classes() {
+		if c.Name != ref.Class {
+			continue
+		}
+		cfg := c.Cfg
+		if req.Gamma > 0 {
+			cfg.Gamma = req.Gamma
+		}
+		it, err := gen.New(cfg, ref.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return s.sess.Problem(ctx, it.W, v, it.Gamma, it.Costs, it.PrivatizeCosts)
+	}
+	for _, c := range gen.ProblemClasses() {
+		if c.Name == ref.Class {
+			// Abstract instances carry their requirement lists directly;
+			// Γ and the Session do not apply.
+			return gen.Problem(c.Cfg, ref.Seed), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown generated class %q (workflow classes: %v; problem classes: %v)",
+		ref.Class, classNames(), problemClassNames())
+}
+
+func classNames() []string {
+	var out []string
+	for _, c := range gen.Classes() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func problemClassNames() []string {
+	var out []string
+	for _, c := range gen.ProblemClasses() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// mapOutcome turns a solve result into (HTTP status, response, error):
+// 200 for a completed solve; 206 + status "partial" whenever the solver
+// carried a feasible incumbent out of a deadline or node-budget expiry
+// (the exit-code-3 analog); 504 for an empty-handed deadline; 422 for an
+// empty-handed exhaustion of a client-requested node budget; 500 for
+// anything else.
+func mapOutcome(res solve.Result, err error, elapsedMs int64) (int, *SolveResponse, string) {
+	switch {
+	case err == nil:
+		return http.StatusOK, toResponse(res, elapsedMs), ""
+	case res.Partial:
+		return http.StatusPartialContent, toResponse(res, elapsedMs), ""
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, nil, "deadline expired with no feasible incumbent"
+	case errors.Is(err, secureview.ErrNodeBudget):
+		return http.StatusUnprocessableEntity, nil, err.Error()
+	default:
+		return http.StatusInternalServerError, nil, err.Error()
+	}
+}
+
+func toResponse(res solve.Result, elapsedMs int64) *SolveResponse {
+	status := "feasible"
+	switch {
+	case res.Partial:
+		status = "partial"
+	case res.Optimal:
+		status = "optimal"
+	}
+	return &SolveResponse{
+		Status:     status,
+		Solver:     res.Solver,
+		Variant:    variantName(res.Variant),
+		Hidden:     sortedNames(res.Solution.Hidden),
+		Privatized: sortedNames(res.Solution.Privatized),
+		Cost:       res.Cost,
+		Optimal:    res.Optimal,
+		Partial:    res.Partial,
+		Bound: BoundSpec{
+			LP:      res.Bound.LP,
+			Factor:  res.Bound.Factor,
+			Theorem: res.Bound.Theorem,
+		},
+		Counters: CountersSpec{
+			Nodes:   res.Counters.Nodes,
+			Checked: res.Counters.Checked,
+			Pruned:  res.Counters.Pruned,
+		},
+		ElapsedMs: elapsedMs,
+	}
+}
+
+// readJSON decodes a POST body, enforcing method, size and strict fields.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

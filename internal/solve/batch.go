@@ -40,6 +40,9 @@ type JobResult struct {
 // mix solvers, share problems between jobs, and run alongside other
 // batches; pair it with a shared Session to also share derivation work.
 func SolveBatch(ctx context.Context, jobs []Job, workers int) []JobResult {
+	if len(jobs) == 0 {
+		return nil // no workers, no result allocation
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

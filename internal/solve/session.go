@@ -4,8 +4,9 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
-	"fmt"
 	"hash"
+	"io"
+	"math"
 	"sort"
 	"sync"
 
@@ -24,6 +25,15 @@ import (
 // Session is safe for concurrent use, and concurrent requests for the same
 // fingerprint perform the work once (later arrivals block on the first).
 //
+// A Session constructed with NewSessionBytes accounts the approximate
+// resident size of every cached value and evicts least-recently-used
+// entries whenever the accounted total would exceed the budget, so a
+// long-running server can front an unbounded stream of distinct workflows
+// with bounded memory. NewSession keeps the historical unbounded behavior.
+// Eviction is observable through Stats. Evicting an entry never invalidates
+// pointers already handed out — cached values are immutable — it only
+// forces the next request for that fingerprint to re-derive.
+//
 // This is the request-level counterpart of privacy.Cache (which amortizes
 // per-module analyses across workflows, the paper's section 3.2 BLAST/FASTA
 // remark): one Session fronting a batch of jobs derives each distinct
@@ -31,61 +41,270 @@ import (
 // batch fans out.
 type Session struct {
 	mu       sync.Mutex
-	problems map[string]*problemEntry
-	oracles  map[string]*oracleEntry
-	hits     int
-	misses   int
+	maxBytes int64
+	bytes    int64
+	problems map[string]*sessionEntry
+	oracles  map[string]*sessionEntry
+	// LRU list over both caches; front = most recently used.
+	front, back *sessionEntry
+	hits        int
+	misses      int
+	evictions   int
 }
 
-type problemEntry struct {
-	once sync.Once
+// sessionEntry is one cached derivation or compilation. done/size/p/c/err
+// are guarded by mu (the singleflight lock: the first caller derives while
+// later arrivals block); the list links and the accounted/evicted flags are
+// guarded by the Session mutex. accounted marks that size has been added to
+// the session byte total (i.e. the derivation committed), which is what the
+// eviction walk keys on — entries still deriving carry no accounted bytes.
+type sessionEntry struct {
+	key     string
+	problem bool // which map the entry lives in
+
+	mu   sync.Mutex
+	done bool
+	size int64
 	p    *secureview.Problem
-	err  error
-}
-
-type oracleEntry struct {
-	once sync.Once
 	c    *oracle.Compiled
 	err  error
+
+	prev, next *sessionEntry
+	accounted  bool
+	evicted    bool
 }
 
-// NewSession returns an empty session.
+// NewSession returns an empty session with no size bound.
 func NewSession() *Session {
+	return NewSessionBytes(0)
+}
+
+// NewSessionBytes returns an empty session that keeps its accounted cache
+// size at or below maxBytes by LRU eviction (0 = unbounded). The accounting
+// is an estimate of resident size (problem specs, compiled oracle tables
+// and their pooled scratch), not exact heap usage.
+func NewSessionBytes(maxBytes int64) *Session {
 	return &Session{
-		problems: make(map[string]*problemEntry),
-		oracles:  make(map[string]*oracleEntry),
+		maxBytes: maxBytes,
+		problems: make(map[string]*sessionEntry),
+		oracles:  make(map[string]*sessionEntry),
 	}
 }
 
-// Stats reports cache hits and misses across both caches.
-func (s *Session) Stats() (hits, misses int) {
+// SessionStats is a snapshot of cache effectiveness and occupancy. The
+// JSON tags are the wire shape internal/server exposes at /v1/stats.
+type SessionStats struct {
+	// Hits counts requests served from a completed cache entry; Misses
+	// counts derivations/compilations actually performed.
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// Evictions counts entries removed under memory pressure.
+	Evictions int `json:"evictions"`
+	// Entries and Bytes are the current occupancy across both caches;
+	// MaxBytes echoes the configured budget (0 = unbounded). Bytes never
+	// exceeds MaxBytes when a budget is set.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"maxBytes"`
+}
+
+// Stats reports cache hits, misses, evictions and current occupancy across
+// both caches.
+func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.hits, s.misses
+	return SessionStats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Entries:   len(s.problems) + len(s.oracles),
+		Bytes:     s.bytes,
+		MaxBytes:  s.maxBytes,
+	}
+}
+
+// lookup returns the entry for key in the given cache, creating it on first
+// request, and marks it most recently used.
+func (s *Session) lookup(key string, problem bool) *sessionEntry {
+	m := s.oracles
+	if problem {
+		m = s.problems
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := m[key]
+	if !ok {
+		e = &sessionEntry{key: key, problem: problem}
+		m[key] = e
+	}
+	s.touchLocked(e)
+	return e
+}
+
+// touchLocked moves e to the front of the LRU list (inserting it if new).
+// Caller holds s.mu.
+func (s *Session) touchLocked(e *sessionEntry) {
+	if s.front == e {
+		return
+	}
+	s.unlinkLocked(e)
+	e.next = s.front
+	if s.front != nil {
+		s.front.prev = e
+	}
+	s.front = e
+	if s.back == nil {
+		s.back = e
+	}
+}
+
+// unlinkLocked removes e from the LRU list if present. Caller holds s.mu.
+func (s *Session) unlinkLocked(e *sessionEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if s.front == e {
+		s.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if s.back == e {
+		s.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// commit records a finished entry's size and evicts LRU entries until the
+// budget holds again. The just-finished entry itself is evictable: a single
+// value larger than the whole budget is dropped immediately (the caller
+// keeps its pointer; only future requests re-derive), so the accounted
+// total never exceeds the budget.
+func (s *Session) commit(e *sessionEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.misses++
+	if e.evicted {
+		return
+	}
+	e.accounted = true
+	s.bytes += e.size
+	if s.maxBytes <= 0 {
+		return
+	}
+	for cur := s.back; cur != nil && s.bytes > s.maxBytes; {
+		prev := cur.prev
+		// Entries still deriving are not yet accounted and carry no
+		// bytes; evicting them would not relieve pressure, so skip them.
+		if cur.accounted {
+			s.evictLocked(cur)
+		}
+		cur = prev
+	}
+}
+
+// discard removes a never-completed entry whose creating caller cancelled
+// before deriving, so abandoned fingerprints do not pin map slots forever.
+// If a concurrent waiter completed and committed the derivation in the
+// meantime, the entry is valid cached work and stays. Not counted in
+// Evictions — this is cleanup, not memory pressure.
+func (s *Session) discard(e *sessionEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.evicted || e.accounted {
+		return
+	}
+	m := s.oracles
+	if e.problem {
+		m = s.problems
+	}
+	// Guard against ABA: if pressure evicted e and a later caller re-created
+	// the key, the map now holds a different entry that must survive.
+	if m[e.key] != e {
+		return
+	}
+	e.evicted = true
+	delete(m, e.key)
+	s.unlinkLocked(e)
+}
+
+// evictLocked removes e from its map and the LRU list. Caller holds s.mu.
+func (s *Session) evictLocked(e *sessionEntry) {
+	if e.evicted {
+		return
+	}
+	e.evicted = true
+	if e.accounted {
+		s.bytes -= e.size
+		e.accounted = false
+	}
+	if e.problem {
+		delete(s.problems, e.key)
+	} else {
+		delete(s.oracles, e.key)
+	}
+	s.unlinkLocked(e)
+	s.evictions++
+}
+
+// hashStr writes a tagged, length-prefixed string into h. The length prefix
+// makes the encoding injective: names containing the bytes another field
+// uses (';', ':', '=', tag letters) cannot shift field boundaries, so two
+// distinct workflows can never serialize to one byte stream.
+func hashStr(h hash.Hash, tag byte, s string) {
+	var buf [9]byte
+	buf[0] = tag
+	binary.LittleEndian.PutUint64(buf[1:], uint64(len(s)))
+	h.Write(buf[:])
+	io.WriteString(h, s)
+}
+
+// hashU64 writes a fixed-width integer into h.
+func hashU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
 }
 
 // hashModuleView writes a module view's identity — attribute split, schema
 // domains and full row set — into h. Names matter (solutions are name
-// sets), so renamed copies of one function hash differently.
+// sets), so renamed copies of one function hash differently. Every string
+// is length-prefixed and every section is count-prefixed; no delimiter
+// byte is load-bearing.
 func hashModuleView(h hash.Hash, mv privacy.ModuleView) {
+	hashU64(h, uint64(len(mv.Inputs)))
 	for _, n := range mv.Inputs {
-		fmt.Fprintf(h, "i:%s;", n)
+		hashStr(h, 'i', n)
 	}
+	hashU64(h, uint64(len(mv.Outputs)))
 	for _, n := range mv.Outputs {
-		fmt.Fprintf(h, "o:%s;", n)
+		hashStr(h, 'o', n)
 	}
 	sc := mv.Rel.Schema()
+	hashU64(h, uint64(sc.Len()))
 	for i := 0; i < sc.Len(); i++ {
 		a := sc.Attr(i)
-		fmt.Fprintf(h, "d:%s=%d;", a.Name, a.Domain)
+		hashStr(h, 'd', a.Name)
+		hashU64(h, uint64(a.Domain))
 	}
-	var buf [8]byte
-	for _, row := range mv.Rel.SortedRows() {
+	rows := mv.Rel.SortedRows()
+	hashU64(h, uint64(len(rows)))
+	for _, row := range rows {
 		for _, v := range row {
-			binary.LittleEndian.PutUint64(buf[:], uint64(v))
-			h.Write(buf[:])
+			hashU64(h, uint64(v))
 		}
-		h.Write([]byte{0xff})
+	}
+}
+
+// hashCosts writes a name→float64 map in sorted name order, count-prefixed.
+func hashCosts(h hash.Hash, tag byte, costs map[string]float64) {
+	names := make([]string, 0, len(costs))
+	for a := range costs {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	hashU64(h, uint64(len(names)))
+	for _, a := range names {
+		hashStr(h, tag, a)
+		hashU64(h, math.Float64bits(costs[a]))
 	}
 }
 
@@ -97,64 +316,73 @@ func hashModuleView(h hash.Hash, mv privacy.ModuleView) {
 func workflowKey(w *workflow.Workflow, v secureview.Variant, gamma uint64,
 	costs privacy.Costs, privatizeCosts map[string]float64) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "solve/v1 variant=%d gamma=%d;", v, gamma)
-	for _, m := range w.Modules() {
-		fmt.Fprintf(h, "m:%s:%s;", m.Name(), m.Visibility())
+	hashStr(h, 'V', "solve/v2")
+	hashU64(h, uint64(v))
+	hashU64(h, gamma)
+	mods := w.Modules()
+	hashU64(h, uint64(len(mods)))
+	for _, m := range mods {
+		hashStr(h, 'm', m.Name())
+		hashU64(h, uint64(m.Visibility()))
 		hashModuleView(h, privacy.NewModuleView(m))
 	}
-	names := make([]string, 0, len(costs))
-	for a := range costs {
-		names = append(names, a)
-	}
-	sort.Strings(names)
-	for _, a := range names {
-		fmt.Fprintf(h, "c:%s=%.17g;", a, costs[a])
-	}
-	names = names[:0]
-	for m := range privatizeCosts {
-		names = append(names, m)
-	}
-	sort.Strings(names)
-	for _, m := range names {
-		fmt.Fprintf(h, "p:%s=%.17g;", m, privatizeCosts[m])
-	}
+	hashCosts(h, 'c', costs)
+	hashCosts(h, 'p', privatizeCosts)
 	return string(h.Sum(nil))
 }
 
 // Problem returns the Secure-View instance derived from (w, Γ, costs) in
 // the given variant, deriving it on first use and serving every later
-// request — from any goroutine — out of the cache. Derivation errors
-// (including secureview.ErrInfeasible) are cached alongside: a workflow
+// request — from any goroutine — out of the cache. Deterministic derivation
+// errors (e.g. secureview.ErrInfeasible) are cached alongside: a workflow
 // with no safe subsets at Γ is not re-analyzed per request.
 //
 // The context gates only cache misses (the derivation's per-module engine
-// sweeps run to completion once started); it is checked before any work.
+// sweeps run to completion once started); it is checked before any work,
+// including immediately before derivation starts — a caller whose context
+// died while it waited for the map slot returns ctx.Err() without deriving
+// and without poisoning the entry, so the next caller performs the work.
 func (s *Session) Problem(ctx context.Context, w *workflow.Workflow, v secureview.Variant,
 	gamma uint64, costs privacy.Costs, privatizeCosts map[string]float64) (*secureview.Problem, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	key := workflowKey(w, v, gamma, costs, privatizeCosts)
-	s.mu.Lock()
-	e, ok := s.problems[key]
-	if !ok {
-		e = &problemEntry{}
-		s.problems[key] = e
-		s.misses++
-	} else {
+	e := s.lookup(workflowKey(w, v, gamma, costs, privatizeCosts), true)
+	e.mu.Lock()
+	if e.done {
+		// Copy under e.mu, count the hit after releasing it: no path may
+		// block on s.mu while holding an entry lock, or commit's eviction
+		// walk would mistake a done entry for one still deriving.
+		p, err := e.p, e.err
+		e.mu.Unlock()
+		s.mu.Lock()
 		s.hits++
+		s.mu.Unlock()
+		return p, err
 	}
-	s.mu.Unlock()
-	e.once.Do(func() {
-		if v == secureview.Set {
-			e.p, e.err = secureview.Derive(w, secureview.DeriveOptions{
-				Gamma: gamma, Costs: costs, PrivatizeCosts: privatizeCosts,
-			})
-			return
-		}
+	// Re-check before committing to the derivation: the wait for the entry
+	// lock may have outlived the caller's deadline, and a cancelled caller
+	// must neither burn the sweep nor cache its own context error. The
+	// abandoned entry is discarded so fingerprints whose only caller
+	// cancelled do not accumulate in a capped session.
+	if err := ctx.Err(); err != nil {
+		e.mu.Unlock()
+		s.discard(e)
+		return nil, err
+	}
+	if v == secureview.Set {
+		e.p, e.err = secureview.Derive(w, secureview.DeriveOptions{
+			Gamma: gamma, Costs: costs, PrivatizeCosts: privatizeCosts,
+		})
+	} else {
 		e.p, e.err = secureview.DeriveCardProblem(w, gamma, costs, privatizeCosts)
-	})
-	return e.p, e.err
+	}
+	e.done = true
+	e.size = problemSize(e.p)
+	p, err := e.p, e.err
+	e.mu.Unlock()
+	s.commit(e)
+	return p, err
 }
 
 // Compiled returns the compiled integer-coded oracle tables for the module
@@ -162,21 +390,64 @@ func (s *Session) Problem(ctx context.Context, w *workflow.Workflow, v securevie
 // later requests for the same functionality.
 func (s *Session) Compiled(mv privacy.ModuleView) (*oracle.Compiled, error) {
 	h := sha256.New()
-	h.Write([]byte("solve/oracle/v1;"))
+	hashStr(h, 'V', "solve/oracle/v2")
 	hashModuleView(h, mv)
-	key := string(h.Sum(nil))
-	s.mu.Lock()
-	e, ok := s.oracles[key]
-	if !ok {
-		e = &oracleEntry{}
-		s.oracles[key] = e
-		s.misses++
-	} else {
+	e := s.lookup(string(h.Sum(nil)), false)
+	e.mu.Lock()
+	if e.done {
+		c, err := e.c, e.err
+		e.mu.Unlock()
+		s.mu.Lock()
 		s.hits++
+		s.mu.Unlock()
+		return c, err
 	}
-	s.mu.Unlock()
-	e.once.Do(func() {
-		e.c, e.err = mv.Compile()
-	})
-	return e.c, e.err
+	e.c, e.err = mv.Compile()
+	e.done = true
+	e.size = entrySize
+	if e.c != nil {
+		e.size += e.c.MemSize()
+	}
+	c, err := e.c, e.err
+	e.mu.Unlock()
+	s.commit(e)
+	return c, err
+}
+
+// entrySize is the fixed accounting overhead per cache entry (SHA-256 key,
+// entry struct, map slot, list links).
+const entrySize int64 = 160
+
+// problemSize estimates the resident bytes of a derived problem: module
+// specs (names, attribute name slices, requirement lists) plus the cost
+// map. An error entry costs only its overhead.
+func problemSize(p *secureview.Problem) int64 {
+	size := entrySize
+	if p == nil {
+		return size
+	}
+	for i := range p.Modules {
+		m := &p.Modules[i]
+		size += 96 + int64(len(m.Name))
+		for _, a := range m.Inputs {
+			size += 16 + int64(len(a))
+		}
+		for _, a := range m.Outputs {
+			size += 16 + int64(len(a))
+		}
+		for _, r := range m.SetList {
+			size += 48
+			for _, a := range r.In {
+				size += 16 + int64(len(a))
+			}
+			for _, a := range r.Out {
+				size += 16 + int64(len(a))
+			}
+		}
+		size += 16 * int64(len(m.CardList))
+	}
+	for a := range p.Costs {
+		size += 48 + int64(len(a))
+	}
+	return size
 }

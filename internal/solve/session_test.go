@@ -1,0 +1,266 @@
+package solve_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"secureview/internal/gen"
+	"secureview/internal/privacy"
+	"secureview/internal/secureview"
+	"secureview/internal/solve"
+)
+
+func tinyInstance(t testing.TB, seed int64) *gen.Instance {
+	t.Helper()
+	it, err := gen.New(gen.Config{Topology: gen.Chain, Modules: 2, FanIn: 1, FanOut: 1}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+// TestSessionEvictionStaysUnderBudget drives 100+ distinct workflows
+// through a byte-capped session and asserts the accounted size never
+// exceeds the budget, eviction actually fires, and an evicted fingerprint
+// re-derives to an identical problem.
+func TestSessionEvictionStaysUnderBudget(t *testing.T) {
+	const capBytes = 16 << 10
+	sess := solve.NewSessionBytes(capBytes)
+	const n = 110
+	for seed := int64(0); seed < n; seed++ {
+		it := tinyInstance(t, seed)
+		p, err := sess.Problem(context.Background(), it.W, secureview.Set,
+			it.Gamma, it.Costs, it.PrivatizeCosts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p == nil {
+			t.Fatalf("seed %d: nil problem", seed)
+		}
+		st := sess.Stats()
+		if st.Bytes > capBytes {
+			t.Fatalf("seed %d: session holds %d bytes, budget %d", seed, st.Bytes, capBytes)
+		}
+		if st.MaxBytes != capBytes {
+			t.Fatalf("MaxBytes = %d, want %d", st.MaxBytes, capBytes)
+		}
+	}
+	st := sess.Stats()
+	if st.Misses != n {
+		t.Fatalf("misses = %d, want %d (distinct workflows)", st.Misses, n)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions across %d workflows under a %d-byte budget (bytes=%d entries=%d)",
+			n, capBytes, st.Bytes, st.Entries)
+	}
+	if st.Entries >= n {
+		t.Fatalf("entries = %d, want fewer than %d after eviction", st.Entries, n)
+	}
+
+	// Seed 0 was evicted long ago: re-requesting it re-derives (a miss,
+	// not a hit) and reproduces the same problem content.
+	it := tinyInstance(t, 0)
+	direct, err := it.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.Problem(context.Background(), it.W, secureview.Set,
+		it.Gamma, it.Costs, it.PrivatizeCosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := sess.Stats()
+	if st2.Misses != st.Misses+1 || st2.Hits != st.Hits {
+		t.Fatalf("evicted re-request: hits %d→%d misses %d→%d, want one more miss",
+			st.Hits, st2.Hits, st.Misses, st2.Misses)
+	}
+	if gen.ProblemFingerprint(p) != gen.ProblemFingerprint(direct) {
+		t.Fatal("re-derived problem differs from the direct derivation")
+	}
+}
+
+// TestSessionEvictionCoversOracles: compiled oracle tables are accounted
+// and evicted under the same budget as derived problems.
+func TestSessionEvictionCoversOracles(t *testing.T) {
+	sess := solve.NewSessionBytes(8 << 10)
+	wide := func(t testing.TB, seed int64) *gen.Instance {
+		t.Helper()
+		it, err := gen.New(gen.Config{Topology: gen.Chain, Modules: 3, FanIn: 2, FanOut: 2}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return it
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		it := wide(t, seed)
+		for _, m := range it.W.PrivateModules() {
+			if _, err := sess.Compiled(privacy.NewModuleView(m)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if st := sess.Stats(); st.Bytes > st.MaxBytes {
+				t.Fatalf("seed %d: %d bytes over the %d budget", seed, st.Bytes, st.MaxBytes)
+			}
+		}
+	}
+	if st := sess.Stats(); st.Evictions == 0 {
+		t.Fatal("no oracle evictions under pressure")
+	}
+
+	// A hot entry is touched back to the front and survives pressure.
+	hot := privacy.NewModuleView(wide(t, 1000).W.PrivateModules()[0])
+	first, err := sess.Compiled(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(2000); seed < 2010; seed++ {
+		it := wide(t, seed)
+		if _, err := sess.Compiled(privacy.NewModuleView(it.W.PrivateModules()[0])); err != nil {
+			t.Fatal(err)
+		}
+		if again, err := sess.Compiled(hot); err != nil || again != first {
+			t.Fatalf("hot entry evicted while continuously used (err=%v, shared=%v)", err, again == first)
+		}
+	}
+}
+
+// TestSessionUnboundedNeverEvicts pins the historical NewSession behavior.
+func TestSessionUnboundedNeverEvicts(t *testing.T) {
+	sess := solve.NewSession()
+	for seed := int64(0); seed < 30; seed++ {
+		it := tinyInstance(t, seed)
+		if _, err := sess.Problem(context.Background(), it.W, secureview.Set,
+			it.Gamma, it.Costs, it.PrivatizeCosts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sess.Stats()
+	if st.Evictions != 0 || st.Entries != 30 || st.MaxBytes != 0 {
+		t.Fatalf("unbounded session evicted: %+v", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatal("unbounded session does not account sizes")
+	}
+}
+
+// countdownCtx is live for the first n Err() calls and cancelled after:
+// it deterministically reproduces a caller whose deadline dies between the
+// Session's entry check and the start of derivation.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	n     int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// TestSessionCancelledMissDoesNotPoison: a caller cancelled inside the miss
+// path (after the entry was created, before derivation) must return its
+// context error WITHOUT caching it — the next caller derives normally.
+func TestSessionCancelledMissDoesNotPoison(t *testing.T) {
+	it := tinyInstance(t, 7)
+	sess := solve.NewSession()
+
+	ctx := &countdownCtx{Context: context.Background(), n: 1}
+	if _, err := sess.Problem(ctx, it.W, secureview.Set,
+		it.Gamma, it.Costs, it.PrivatizeCosts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled miss returned %v, want context.Canceled", err)
+	}
+	if st := sess.Stats(); st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("cancelled miss counted in stats: %+v", st)
+	}
+	// The abandoned entry is discarded, not left as an unevictable zombie.
+	if st := sess.Stats(); st.Entries != 0 {
+		t.Fatalf("cancelled miss left %d entries behind", st.Entries)
+	}
+
+	// The entry is not poisoned: a healthy caller derives and succeeds.
+	p, err := sess.Problem(context.Background(), it.W, secureview.Set,
+		it.Gamma, it.Costs, it.PrivatizeCosts)
+	if err != nil {
+		t.Fatalf("entry poisoned by the cancelled caller: %v", err)
+	}
+	if p == nil {
+		t.Fatal("nil problem after retry")
+	}
+	if st := sess.Stats(); st.Misses != 1 {
+		t.Fatalf("retry did not derive: %+v", st)
+	}
+	// And the successful derivation IS cached for everyone after.
+	again, err := sess.Problem(context.Background(), it.W, secureview.Set,
+		it.Gamma, it.Costs, it.PrivatizeCosts)
+	if err != nil || again != p {
+		t.Fatalf("post-retry request not served from cache (err=%v)", err)
+	}
+}
+
+// TestSessionCancelledBeforeLookup: the fast pre-check still applies.
+func TestSessionCancelledBeforeLookup(t *testing.T) {
+	it := tinyInstance(t, 8)
+	sess := solve.NewSession()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Problem(ctx, it.W, secureview.Set,
+		it.Gamma, it.Costs, it.PrivatizeCosts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if st := sess.Stats(); st.Entries != 0 {
+		t.Fatalf("dead-on-arrival request created an entry: %+v", st)
+	}
+}
+
+// TestSolveBatchEmpty: an empty batch short-circuits — no workers, no
+// allocation, immediate empty result.
+func TestSolveBatchEmpty(t *testing.T) {
+	done := make(chan []solve.JobResult, 1)
+	go func() { done <- solve.SolveBatch(context.Background(), nil, 8) }()
+	select {
+	case res := <-done:
+		if len(res) != 0 {
+			t.Fatalf("empty batch returned %d results", len(res))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("empty batch did not return")
+	}
+	if res := solve.SolveBatch(context.Background(), []solve.Job{}, 0); len(res) != 0 {
+		t.Fatalf("empty slice batch returned %d results", len(res))
+	}
+}
+
+// TestSolveBatchMoreWorkersThanJobs: the pool clamps to the job count and
+// still returns complete, ordered results.
+func TestSolveBatchMoreWorkersThanJobs(t *testing.T) {
+	p := gen.Problem(gen.ProblemConfig{Modules: 4}, 1)
+	jobs := []solve.Job{
+		{Name: "a", Problem: p, Solver: "exact", Options: solve.Options{Variant: secureview.Set}},
+		{Name: "b", Problem: p, Solver: "greedy", Options: solve.Options{Variant: secureview.Set}},
+	}
+	results := solve.SolveBatch(context.Background(), jobs, 64)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Job.Name != jobs[i].Name {
+			t.Fatalf("result %d out of order: %q", i, r.Job.Name)
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Job.Name, r.Err)
+		}
+		if !p.Feasible(r.Result.Solution, secureview.Set) {
+			t.Fatalf("%s: infeasible solution", r.Job.Name)
+		}
+	}
+}

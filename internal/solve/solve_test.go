@@ -167,17 +167,20 @@ func TestSessionSharesDerivations(t *testing.T) {
 			t.Fatalf("worker %d received a different problem pointer", i)
 		}
 	}
-	hits, misses := sess.Stats()
-	if misses != 1 || hits != workers-1 {
-		t.Fatalf("stats hits=%d misses=%d, want %d/1", hits, misses, workers-1)
+	st := sess.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d/1", st.Hits, st.Misses, workers-1)
+	}
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats entries=%d bytes=%d, want one sized entry", st.Entries, st.Bytes)
 	}
 	// A different variant is a different fingerprint.
 	if _, err := sess.Problem(context.Background(), it.W, secureview.Cardinality,
 		it.Gamma, it.Costs, it.PrivatizeCosts); err != nil {
 		t.Fatalf("cardinality derivation: %v", err)
 	}
-	if _, misses := sess.Stats(); misses != 2 {
-		t.Fatalf("cardinality request did not miss (misses=%d)", misses)
+	if st := sess.Stats(); st.Misses != 2 {
+		t.Fatalf("cardinality request did not miss (misses=%d)", st.Misses)
 	}
 	// The derived problem matches the instance's own derivation.
 	direct, err := it.Derive()
