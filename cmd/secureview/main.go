@@ -7,10 +7,12 @@
 // Usage:
 //
 //	secureview -demo                      # print an example instance
+//	secureview -solvers                   # list registered solvers + capabilities
 //	secureview -in instance.json          # solve (exact)
 //	secureview -in instance.json -solver lp -variant set
 //	secureview -in instance.json -solver greedy -variant cardinality
 //	secureview -in instance.json -solver bb -timeout 2s
+//	secureview -gen mega-shared -solver portfolio   # solve a generated class
 package main
 
 import (
@@ -21,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"secureview/internal/gen"
 	"secureview/internal/privacy"
 	"secureview/internal/provenance"
 	"secureview/internal/search"
@@ -88,14 +92,16 @@ func demo() instance {
 
 func main() {
 	var (
-		inPath   = flag.String("in", "", "instance JSON file (- for stdin)")
-		wfPath   = flag.String("wf", "", "workflow spec JSON file (see internal/spec); derives and solves")
-		solver   = flag.String("solver", "exact", fmt.Sprintf("one of %v (internal/solve registry); -wf mode supports exact | greedy | lp", solve.Names()))
-		variant  = flag.String("variant", "set", "set | cardinality")
-		showDemo = flag.Bool("demo", false, "print an example instance and exit")
-		seed     = flag.Int64("seed", 1, "randomized-rounding seed (cardinality lp)")
-		parallel = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 0, "-in solve deadline (0 = none); on expiry the best incumbent, if any, is printed as a partial result")
+		inPath      = flag.String("in", "", "instance JSON file (- for stdin)")
+		wfPath      = flag.String("wf", "", "workflow spec JSON file (see internal/spec); derives and solves")
+		genClass    = flag.String("gen", "", "solve a generated problem class instead of -in (see internal/gen; includes the mega-* classes)")
+		solver      = flag.String("solver", "exact", fmt.Sprintf("one of %v (internal/solve registry); -wf mode supports exact | greedy | lp", solve.Names()))
+		variant     = flag.String("variant", "set", "set | cardinality")
+		showDemo    = flag.Bool("demo", false, "print an example instance and exit")
+		showSolvers = flag.Bool("solvers", false, "list registered solvers with their declared capabilities and exit")
+		seed        = flag.Int64("seed", 1, "randomized-rounding seed (cardinality lp)")
+		parallel    = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "-in solve deadline (0 = none); on expiry the best incumbent, if any, is printed as a partial result")
 	)
 	flag.Parse()
 	search.SetDefaultParallelism(*parallel)
@@ -105,6 +111,10 @@ func main() {
 		fmt.Println(string(raw))
 		return
 	}
+	if *showSolvers {
+		printSolvers()
+		return
+	}
 	if *wfPath != "" {
 		if *timeout > 0 {
 			fmt.Fprintln(os.Stderr, "secureview: note: -timeout applies to -in instance solving; -wf mode runs unbounded")
@@ -112,25 +122,33 @@ func main() {
 		runWorkflowMode(*wfPath, *solver)
 		return
 	}
-	if *inPath == "" {
-		fmt.Fprintln(os.Stderr, "secureview: -in or -wf required (or -demo)")
+	if *inPath == "" && *genClass == "" {
+		fmt.Fprintln(os.Stderr, "secureview: -in, -gen or -wf required (or -demo, -solvers)")
 		os.Exit(2)
 	}
-	var raw []byte
-	var err error
-	if *inPath == "-" {
-		raw, err = io.ReadAll(os.Stdin)
+	var p *secureview.Problem
+	if *genClass != "" {
+		var err error
+		if p, err = generatedProblem(*genClass, *seed); err != nil {
+			fatal(err)
+		}
 	} else {
-		raw, err = os.ReadFile(*inPath)
+		var raw []byte
+		var err error
+		if *inPath == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(*inPath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		var in instance
+		if err := json.Unmarshal(raw, &in); err != nil {
+			fatal(fmt.Errorf("parsing instance: %w", err))
+		}
+		p = toProblem(in)
 	}
-	if err != nil {
-		fatal(err)
-	}
-	var in instance
-	if err := json.Unmarshal(raw, &in); err != nil {
-		fatal(fmt.Errorf("parsing instance: %w", err))
-	}
-	p := toProblem(in)
 
 	var v secureview.Variant
 	switch *variant {
@@ -252,6 +270,55 @@ func runWorkflowMode(path, solverName string) {
 	fmt.Printf("privatize:   %v\n", view.Privatized.Sorted())
 	fmt.Printf("cost:        %.4g\n", view.Cost)
 	fmt.Printf("published view:\n%v", view.Relation())
+}
+
+// printSolvers renders the registry's declared capability matrix, the CLI
+// face of GET /v1/solvers.
+func printSolvers() {
+	for _, info := range solve.Solvers() {
+		c := info.Capabilities
+		var variants []string
+		if c.Cardinality {
+			variants = append(variants, "cardinality")
+		}
+		if c.Set {
+			variants = append(variants, "set")
+		}
+		kind := "heuristic"
+		switch {
+		case c.Exact:
+			kind = "exact"
+		case c.Certified:
+			kind = "certified"
+		}
+		fmt.Printf("%-18s %-10s variants=%s", info.Name, kind, strings.Join(variants, ","))
+		if c.AllPrivateOnly {
+			fmt.Printf(" all-private-only")
+		}
+		if c.MaxUniverse > 0 {
+			fmt.Printf(" max-universe=%d", c.MaxUniverse)
+		}
+		if c.Factor != "" {
+			fmt.Printf(" factor=%q", c.Factor)
+		}
+		fmt.Println()
+	}
+}
+
+// generatedProblem resolves a class name from internal/gen's deterministic
+// catalogues — the scenario classes plus the mega-* approximation-regime
+// classes.
+func generatedProblem(name string, seed int64) (*secureview.Problem, error) {
+	for _, pc := range append(gen.ProblemClasses(), gen.MegaProblemClasses()...) {
+		if pc.Name == name {
+			return gen.Problem(pc.Cfg, seed), nil
+		}
+	}
+	var known []string
+	for _, pc := range append(gen.ProblemClasses(), gen.MegaProblemClasses()...) {
+		known = append(known, pc.Name)
+	}
+	return nil, fmt.Errorf("unknown generated class %q (have %v)", name, known)
 }
 
 func fatal(err error) {

@@ -23,14 +23,18 @@
 //	internal/secureview  the Secure-View optimization (sections 4–5);
 //	                     context-cancellable exact/BB/greedy/LP solvers with
 //	                     the typed ErrNodeBudget budget sentinel
-//	internal/solve       unified solver layer: Solver registry over all five
-//	                     code paths with uniform Options and bound-certified
+//	internal/solve       unified solver layer: Solver registry (exact, bb,
+//	                     engine, greedy, lp, approx-setcover,
+//	                     approx-labelcover, portfolio) with declared
+//	                     Capabilities, uniform Options and bound-certified
 //	                     Results, fingerprint-keyed Session caches (derived
 //	                     problems, compiled oracle tables; length-prefixed
 //	                     collision-proof hashing, size-accounted LRU
 //	                     eviction) shared across goroutines, SolveBatch
 //	                     worker-pool front-end with per-job deadlines; every
-//	                     solver observes ctx within one pruning epoch
+//	                     solver observes ctx within one pruning epoch; the
+//	                     portfolio meta-solver races all applicable solvers
+//	                     under one context and cancels the losers
 //	internal/server      HTTP/JSON front-end over the solve registry:
 //	                     bounded admission (429 on overload), per-request
 //	                     deadlines mapped to solve.Options.Timeout (206
@@ -39,12 +43,19 @@
 //	                     request forms, byte-capped shared Session
 //	internal/lp          two-phase simplex (substrate)
 //	internal/sat         CNF + DPLL (substrate for Theorem 2)
-//	internal/combopt     set/vertex/label cover (reduction sources)
-//	internal/reductions  the hardness constructions as generators
+//	internal/combopt     set/vertex/label cover: weighted instances,
+//	                     context-cancellable budgeted greedy/exact solvers
+//	                     with the typed ErrBudget sentinel
+//	internal/reductions  the hardness constructions as generators, plus the
+//	                     forward reductions ToSetCover/ToLabelCover with
+//	                     solution pull-back and LP/charging lower bounds —
+//	                     the engine of the certified approximation tier
 //	internal/workload    random workflow/instance generators
 //	internal/gen         deterministic seed-driven scenario generator:
 //	                     chain/tree/layered topologies, function kinds,
-//	                     cost models, abstract instances; byte-identical
+//	                     cost models, abstract instances (including the
+//	                     mega-* classes with hundreds of modules that only
+//	                     the approximation tier can solve); byte-identical
 //	                     reproduction per (Config, seed)
 //	internal/gen/diff    cross-solver differential harness: exact ≡ BB ≡
 //	                     engine, greedy/LP feasibility + approximation

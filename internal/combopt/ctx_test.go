@@ -1,0 +1,170 @@
+package combopt
+
+// Tests for the context-aware, weighted solver entry points: agreement with
+// the unweighted originals, typed budget errors, cancellation, and the
+// 50ms-deadline smoke the CI cancellation step runs.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCtxSolversMatchUnweighted: with nil weights every Ctx solver optimizes
+// the same objective as its original — the exact optima must coincide and
+// the greedy outputs must be feasible.
+func TestCtxSolversMatchUnweighted(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		sc := RandomSetCover(5+rng.Intn(4), 6+rng.Intn(5), 0.35, rng)
+		cover, err := sc.GreedyCtx(ctx)
+		if err != nil {
+			t.Fatalf("trial %d: GreedyCtx: %v", trial, err)
+		}
+		if !sc.IsCover(cover) {
+			t.Fatalf("trial %d: GreedyCtx output is not a cover", trial)
+		}
+		exact, err := sc.ExactCtx(ctx, 0)
+		if err != nil {
+			t.Fatalf("trial %d: ExactCtx: %v", trial, err)
+		}
+		if got, want := sc.CostOf(exact), float64(len(sc.Exact())); got != want {
+			t.Errorf("trial %d: ExactCtx cost %g != unweighted optimum %g", trial, got, want)
+		}
+
+		lc := RandomLabelCover(2, 2, 3, 2, 2, rng)
+		a, err := lc.GreedyAssignmentCtx(ctx)
+		if err != nil {
+			t.Fatalf("trial %d: GreedyAssignmentCtx: %v", trial, err)
+		}
+		if !lc.Feasible(a) {
+			t.Fatalf("trial %d: GreedyAssignmentCtx output infeasible", trial)
+		}
+		ea, err := lc.ExactCtx(ctx, 0)
+		if err != nil {
+			t.Fatalf("trial %d: label ExactCtx: %v", trial, err)
+		}
+		if got, want := lc.CostOf(ea), float64(lc.Exact().Cost()); got != want {
+			t.Errorf("trial %d: label ExactCtx cost %g != unweighted optimum %g", trial, got, want)
+		}
+
+		g := RandomGraph(8+rng.Intn(4), 12+rng.Intn(6), rng)
+		vc, err := g.ExactVertexCoverCtx(ctx, 0)
+		if err != nil {
+			t.Fatalf("trial %d: ExactVertexCoverCtx: %v", trial, err)
+		}
+		if !g.IsVertexCover(vc) {
+			t.Fatalf("trial %d: ExactVertexCoverCtx output is not a cover", trial)
+		}
+		if got, want := len(vc), len(g.ExactVertexCover()); got != want {
+			t.Errorf("trial %d: ExactVertexCoverCtx size %d != unweighted optimum %d", trial, got, want)
+		}
+	}
+}
+
+// TestWeightedGreedyCtxPrefersCheapSets: the weighted greedy must optimize
+// weight, not cardinality. On {0},{1} at weight 1 vs {0,1} at weight 3 the
+// unweighted greedy takes the big set; the weighted one must not.
+func TestWeightedGreedyCtxPrefersCheapSets(t *testing.T) {
+	sc := SetCover{N: 2, Sets: [][]int{{0}, {1}, {0, 1}}, Weights: []float64{1, 1, 3}}
+	cover, err := sc.GreedyCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.CostOf(cover); got != 2 {
+		t.Errorf("weighted greedy cost %g, want 2 (sets %v)", got, cover)
+	}
+	if got := len(sc.Greedy()); got != 1 {
+		t.Errorf("unweighted greedy picked %d sets, want the single big set", got)
+	}
+	exact, err := sc.ExactCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.CostOf(exact); got != 2 {
+		t.Errorf("weighted exact cost %g, want 2", got)
+	}
+}
+
+// TestCtxBudgetTyped: a one-node budget trips on the first branch of every
+// budgeted solver and the error is the typed sentinel, matching how the
+// solve registry distinguishes budget exhaustion from broken instances.
+func TestCtxBudgetTyped(t *testing.T) {
+	ctx := context.Background()
+	sc := SetCover{N: 2, Sets: [][]int{{0}, {1}, {0, 1}}, Weights: []float64{1, 1, 3}}
+	if _, err := sc.ExactCtx(ctx, 1); !errors.Is(err, ErrBudget) {
+		t.Errorf("set cover: err = %v, want ErrBudget", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	lc := RandomLabelCover(2, 2, 3, 2, 2, rng)
+	if _, err := lc.ExactCtx(ctx, 1); !errors.Is(err, ErrBudget) {
+		t.Errorf("label cover: err = %v, want ErrBudget", err)
+	}
+	g := RandomGraph(10, 15, rng)
+	if _, err := g.ExactVertexCoverCtx(ctx, 1); !errors.Is(err, ErrBudget) {
+		t.Errorf("vertex cover: err = %v, want ErrBudget", err)
+	}
+}
+
+// TestCtxCancelledPromptly: a dead context surfaces as context.Canceled from
+// every Ctx entry point without partial output.
+func TestCtxCancelledPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(9))
+	sc := RandomSetCover(10, 14, 0.3, rng)
+	if _, err := sc.GreedyCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("GreedyCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := sc.ExactCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("set ExactCtx: err = %v, want context.Canceled", err)
+	}
+	lc := RandomLabelCover(3, 3, 3, 3, 2, rng)
+	if _, err := lc.GreedyAssignmentCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("GreedyAssignmentCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := lc.ExactCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("label ExactCtx: err = %v, want context.Canceled", err)
+	}
+	// The vertex-cover search polls every 256 nodes, so it needs a search
+	// big enough to reach the first poll.
+	g := RandomCubicGraph(60, rng)
+	if _, err := g.ExactVertexCoverCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExactVertexCoverCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExactCtxDeadline: a 50ms deadline stops searches that would otherwise
+// run far longer, and stops them promptly — the smoke contract the CI
+// cancellation step asserts across the repo.
+func TestExactCtxDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sc := RandomSetCover(40, 80, 0.15, rng)
+	lc := RandomLabelCover(4, 4, 5, 6, 4, rng)
+	g := RandomCubicGraph(80, rng)
+	for _, tc := range []struct {
+		name string
+		run  func(ctx context.Context) error
+	}{
+		{"setcover", func(ctx context.Context) error { _, err := sc.ExactCtx(ctx, 0); return err }},
+		{"labelcover", func(ctx context.Context) error { _, err := lc.ExactCtx(ctx, 0); return err }},
+		{"vertexcover", func(ctx context.Context) error { _, err := g.ExactVertexCoverCtx(ctx, 0); return err }},
+	} {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		start := time.Now()
+		err := tc.run(ctx)
+		elapsed := time.Since(start)
+		cancel()
+		// A search that legitimately finishes inside 50ms is fine; one that
+		// does not must report the deadline within the polling interval.
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", tc.name, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("%s: took %v to notice a 50ms deadline", tc.name, elapsed)
+		}
+	}
+}

@@ -17,6 +17,12 @@ type LabelCover struct {
 	NU, NW int
 	L      int
 	Edges  []LCEdge
+	// Weights holds one non-negative weight per (vertex, label), indexed
+	// like Assignment: rows 0..NU-1 are left vertices, NU..NU+NW-1 right
+	// (nil = every label weighs 1). Only the Ctx solvers and CostOf consult
+	// it; GreedyAssignment and Exact keep the historical unit-cost
+	// objective.
+	Weights [][]float64
 }
 
 // LCEdge is one edge with its admissible label pairs.
@@ -25,8 +31,46 @@ type LCEdge struct {
 	Rel  [][2]int
 }
 
-// Validate checks ranges and non-emptiness of relations.
+// LabelWeight returns the weight of assigning label l to vertex v (the
+// Assignment row index), 1 when Weights is nil.
+func (lc LabelCover) LabelWeight(v, l int) float64 {
+	if lc.Weights == nil {
+		return 1
+	}
+	return lc.Weights[v][l]
+}
+
+// CostOf returns the assignment's total label weight.
+func (lc LabelCover) CostOf(a Assignment) float64 {
+	total := 0.0
+	for v, labels := range a {
+		for l, on := range labels {
+			if on {
+				total += lc.LabelWeight(v, l)
+			}
+		}
+	}
+	return total
+}
+
+// Validate checks ranges, non-emptiness of relations and — when weights are
+// present — their shape and non-negativity.
 func (lc LabelCover) Validate() error {
+	if lc.Weights != nil {
+		if len(lc.Weights) != lc.NU+lc.NW {
+			return fmt.Errorf("combopt: %d weight rows for %d vertices", len(lc.Weights), lc.NU+lc.NW)
+		}
+		for v, row := range lc.Weights {
+			if len(row) != lc.L {
+				return fmt.Errorf("combopt: vertex %d has %d label weights, want %d", v, len(row), lc.L)
+			}
+			for l, w := range row {
+				if w < 0 {
+					return fmt.Errorf("combopt: label (%d,%d) has negative weight %g", v, l, w)
+				}
+			}
+		}
+	}
 	for i, e := range lc.Edges {
 		if e.U < 0 || e.U >= lc.NU || e.W < 0 || e.W >= lc.NW {
 			return fmt.Errorf("combopt: edge %d endpoints out of range", i)

@@ -18,14 +18,47 @@ import (
 
 // SetCover is an instance of minimum set cover: a universe {0..N-1} and a
 // family of subsets. The goal is a minimum number of subsets whose union is
-// the universe.
+// the universe — or, when Weights is set, a minimum total weight.
+//
+// Greedy and Exact are the historical unit-cost solvers and ignore Weights;
+// the context-aware GreedyCtx and ExactCtx honor them (nil means every set
+// weighs 1, making the two families agree).
 type SetCover struct {
 	N    int
 	Sets [][]int
+	// Weights holds one non-negative weight per set (nil = all 1). Only the
+	// Ctx solvers consult it.
+	Weights []float64
 }
 
-// Validate checks element ranges and that a cover exists at all.
+// Weight returns set i's weight (1 when Weights is nil).
+func (sc SetCover) Weight(i int) float64 {
+	if sc.Weights == nil {
+		return 1
+	}
+	return sc.Weights[i]
+}
+
+// CostOf returns the total weight of the chosen sets.
+func (sc SetCover) CostOf(chosen []int) float64 {
+	total := 0.0
+	for _, i := range chosen {
+		total += sc.Weight(i)
+	}
+	return total
+}
+
+// Validate checks element ranges, that a cover exists at all, and — when
+// weights are present — that they are one-per-set and non-negative.
 func (sc SetCover) Validate() error {
+	if sc.Weights != nil && len(sc.Weights) != len(sc.Sets) {
+		return fmt.Errorf("combopt: %d weights for %d sets", len(sc.Weights), len(sc.Sets))
+	}
+	for i, w := range sc.Weights {
+		if w < 0 {
+			return fmt.Errorf("combopt: set %d has negative weight %g", i, w)
+		}
+	}
 	covered := make([]bool, sc.N)
 	for i, s := range sc.Sets {
 		for _, e := range s {

@@ -331,6 +331,92 @@ func (r *Result) checkHeuristics(ctx context.Context, name string, p *secureview
 	}
 }
 
+// CheckMega runs the certified-approximation matrix on a mega-scale
+// abstract instance. It is CheckMegaCtx without cancellation.
+func CheckMega(name string, p *secureview.Problem, opts Options) Result {
+	return CheckMegaCtx(context.Background(), name, p, opts)
+}
+
+// CheckMegaCtx verifies the approximation tier in the regime exact search
+// cannot anchor: for each variant it first confirms the exact solver
+// either finishes (small instances remain legal inputs) or declines with
+// the typed budget error, then runs every certified approximation solver
+// plus the portfolio and checks that each result is feasible and that its
+// certificate holds arithmetically — cost ≤ Bound.Factor × Bound.LP with
+// a strictly positive lower bound. The certificates are LP-relative by
+// construction, so this is checkable even when no exact optimum will ever
+// be known; when exact does finish, the optimum additionally sandwiches
+// every result from below and Bound.LP from above.
+func CheckMegaCtx(ctx context.Context, name string, p *secureview.Problem, opts Options) Result {
+	opts = opts.withDefaults()
+	var r Result
+	r.Instances = 1
+	for _, v := range []secureview.Variant{secureview.Set, secureview.Cardinality} {
+		if p.Validate(v) != nil {
+			continue
+		}
+		vn := name + "/" + map[secureview.Variant]string{secureview.Set: "set", secureview.Cardinality: "card"}[v]
+		optCost := -1.0
+		exact, err := solve.Solve(ctx, "exact", p, opts.solveOptions(v))
+		r.SolverRuns++
+		if err != nil {
+			// The exact tier must decline the mega regime loudly and typed,
+			// not crash or grind: anything but budget/cancel is a violation.
+			r.skipOrViolate(vn, "exact solver on mega instance", err)
+		} else {
+			optCost = exact.Cost
+			r.Exact = 1
+		}
+		for _, solver := range []string{"approx-setcover", "approx-labelcover", "portfolio"} {
+			s, ok := solve.Get(solver)
+			if !ok || s.Supports(p, v) != nil {
+				continue
+			}
+			r.checkCertified(ctx, vn, solver, p, v, optCost, opts)
+		}
+	}
+	return r
+}
+
+// checkCertified runs one certified solver and verifies feasibility plus
+// the arithmetic of its certificate. optCost < 0 means no exact anchor is
+// available (the mega regime).
+func (r *Result) checkCertified(ctx context.Context, name, solver string, p *secureview.Problem,
+	v secureview.Variant, optCost float64, opts Options) {
+	res, err := solve.Solve(ctx, solver, p, opts.solveOptions(v))
+	r.SolverRuns++
+	if err != nil {
+		r.skipOrViolate(name, solver, err)
+		return
+	}
+	if !p.Feasible(res.Solution, v) {
+		r.violatef("%s: %s solution infeasible", name, solver)
+		return
+	}
+	if res.Bound.Factor <= 0 && !res.Optimal {
+		r.violatef("%s: %s returned no certificate on a mega instance", name, solver)
+		return
+	}
+	if !res.Optimal {
+		if res.Bound.LP <= 0 {
+			r.violatef("%s: %s certificate has a vacuous lower bound %g", name, solver, res.Bound.LP)
+			return
+		}
+		if gap := solve.CertifiedGap(res); gap > eps(res.Cost) {
+			r.violatef("%s: %s cost %g exceeds its certificate %g×%g (%s)",
+				name, solver, res.Cost, res.Bound.Factor, res.Bound.LP, res.Bound.Theorem)
+		}
+	}
+	if optCost >= 0 {
+		if res.Cost < optCost-eps(optCost) {
+			r.violatef("%s: %s cost %g below exact optimum %g", name, solver, res.Cost, optCost)
+		}
+		if res.Bound.LP > optCost+eps(optCost) {
+			r.violatef("%s: %s lower bound %g exceeds exact optimum %g", name, solver, res.Bound.LP, optCost)
+		}
+	}
+}
+
 // CheckInstance runs the harness on a generated workflow instance. It is
 // CheckInstanceCtx without cancellation.
 func CheckInstance(it *gen.Instance, opts Options) Result {

@@ -1,0 +1,61 @@
+package diff
+
+// Mega-regime smoke: the harness's certified-approximation matrix must come
+// back clean on every mega class — exact declines typed (counted as skips,
+// never violations), the approximation tier and the portfolio certify — and
+// on small instances CheckMega must still anchor against the exact optimum.
+
+import (
+	"testing"
+	"time"
+
+	"secureview/internal/gen"
+	"secureview/internal/secureview"
+)
+
+func TestMegaSmoke(t *testing.T) {
+	for _, pc := range gen.MegaProblemClasses() {
+		for seed := int64(1); seed <= 2; seed++ {
+			p := gen.Problem(pc.Cfg, seed)
+			if k := len(p.UsefulAttributes(secureview.Set)); k < 40 {
+				t.Fatalf("%s/%d: universe %d is not mega (want ≥ 40)", pc.Name, seed, k)
+			}
+			start := time.Now()
+			r := CheckMega(pc.Name, p, Options{})
+			elapsed := time.Since(start)
+			for _, v := range r.Violations {
+				t.Errorf("%s/%d: %s", pc.Name, seed, v)
+			}
+			if r.Exact != 0 {
+				t.Errorf("%s/%d: exact solver finished on a mega instance", pc.Name, seed)
+			}
+			if r.Skips == 0 {
+				t.Errorf("%s/%d: exact's typed decline was not counted as a skip", pc.Name, seed)
+			}
+			// One exact probe plus at least the set-cover route and the
+			// portfolio per valid variant.
+			if r.SolverRuns < 3 {
+				t.Errorf("%s/%d: only %d solver runs", pc.Name, seed, r.SolverRuns)
+			}
+			if elapsed > 20*time.Second {
+				t.Errorf("%s/%d: CheckMega took %v", pc.Name, seed, elapsed)
+			}
+		}
+	}
+}
+
+// TestMegaAnchorsOnSmallInstances: small instances remain legal CheckMega
+// inputs — exact finishes and becomes the anchor, and the certified matrix
+// still comes back clean against it.
+func TestMegaAnchorsOnSmallInstances(t *testing.T) {
+	for _, pc := range gen.ProblemClasses() {
+		p := gen.Problem(pc.Cfg, 1)
+		r := CheckMega(pc.Name, p, Options{})
+		for _, v := range r.Violations {
+			t.Errorf("%s: %s", pc.Name, v)
+		}
+		if r.Exact != 1 {
+			t.Errorf("%s: exact did not anchor a small instance", pc.Name)
+		}
+	}
+}

@@ -152,3 +152,18 @@ func ProblemClasses() []ProblemClass {
 		{"public-mix", ProblemConfig{Modules: 6, MaxInputs: 2, Outputs: 1, Share: 2, PublicFrac: 0.3}},
 	}
 }
+
+// MegaProblemClasses returns the mega-scale abstract-instance classes: all
+// private, hundreds of modules, useful-attribute universes of k ≥ 40 —
+// far beyond the 2^k exact tier, which exits with typed budget errors
+// there. They exist to exercise the certified approximation tier and the
+// portfolio meta-solver, and are deliberately kept out of ProblemClasses
+// so the exhaustive sweeps (differential harness defaults, E22, fuzzing)
+// stay exact-solver sized.
+func MegaProblemClasses() []ProblemClass {
+	return []ProblemClass{
+		{"mega-sparse", ProblemConfig{Modules: 120, MaxInputs: 1, Outputs: 1, Share: 1}},
+		{"mega-shared", ProblemConfig{Modules: 150, MaxInputs: 2, Outputs: 1, Share: 4}},
+		{"mega-wide", ProblemConfig{Modules: 100, MaxInputs: 3, Outputs: 2, Share: 3}},
+	}
+}

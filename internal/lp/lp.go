@@ -10,6 +10,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -126,8 +127,18 @@ type Solution struct {
 const eps = 1e-9
 
 // Solve runs the two-phase simplex and returns the optimal solution, or a
-// Solution with Infeasible/Unbounded status.
+// Solution with Infeasible/Unbounded status. It is SolveCtx without
+// cancellation.
 func (p *Problem) Solve() Solution {
+	sol, _ := p.SolveCtx(context.Background())
+	return sol
+}
+
+// SolveCtx is Solve with cooperative cancellation: the simplex polls the
+// context every few dozen pivots and returns ctx.Err() on expiry, so callers
+// racing an LP against other solvers (the portfolio meta-solver) can cancel
+// a losing simplex mid-flight instead of waiting out the full tableau.
+func (p *Problem) SolveCtx(ctx context.Context) (Solution, error) {
 	m := len(p.constraints)
 	// Standard form: for each constraint, normalize rhs >= 0, then add a
 	// slack (LE), a surplus plus artificial (GE), or an artificial (EQ).
@@ -201,11 +212,14 @@ func (p *Problem) Solve() Solution {
 		for j := artStart; j < artStart+nArt; j++ {
 			phase1[j] = 1
 		}
-		status := simplex(tab, basis, phase1, total)
+		status, err := simplex(ctx, tab, basis, phase1, total)
+		if err != nil {
+			return Solution{}, err
+		}
 		if status == Unbounded {
 			// Phase 1 objective is bounded below by 0; unbounded cannot
 			// happen, but guard anyway.
-			return Solution{Status: Infeasible}
+			return Solution{Status: Infeasible}, nil
 		}
 		sum := 0.0
 		for i, b := range basis {
@@ -214,7 +228,7 @@ func (p *Problem) Solve() Solution {
 			}
 		}
 		if sum > 1e-7 {
-			return Solution{Status: Infeasible}
+			return Solution{Status: Infeasible}, nil
 		}
 		// Drive remaining artificial variables out of the basis.
 		for i, b := range basis {
@@ -244,9 +258,12 @@ func (p *Problem) Solve() Solution {
 	for j := artStart; j < artStart+nArt; j++ {
 		phase2[j] = math.Inf(1) // never re-enter
 	}
-	status := simplex(tab, basis, phase2, total)
+	status, err := simplex(ctx, tab, basis, phase2, total)
+	if err != nil {
+		return Solution{}, err
+	}
 	if status == Unbounded {
-		return Solution{Status: Unbounded}
+		return Solution{Status: Unbounded}, nil
 	}
 	x := make([]float64, p.n)
 	for i, b := range basis {
@@ -258,18 +275,24 @@ func (p *Problem) Solve() Solution {
 	for j, v := range p.objective {
 		obj += v * x[j]
 	}
-	return Solution{Status: Optimal, X: x, Objective: obj}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
 }
 
 // simplex optimizes min cost·x over the tableau in place. Reduced costs are
 // recomputed from the basis each iteration (revised-style on a dense
-// tableau); Bland's rule guarantees termination.
-func simplex(tab [][]float64, basis []int, cost []float64, total int) Status {
+// tableau); Bland's rule guarantees termination. The context is polled every
+// few dozen pivots.
+func simplex(ctx context.Context, tab [][]float64, basis []int, cost []float64, total int) (Status, error) {
 	m := len(tab)
 	for iter := 0; ; iter++ {
+		if iter&31 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Optimal, err
+			}
+		}
 		if iter > 200000 {
 			// Safety valve; with Bland's rule this should be unreachable.
-			return Optimal
+			return Optimal, nil
 		}
 		// Reduced costs: r_j = c_j - c_B · B^{-1} A_j. The tableau already
 		// holds B^{-1}A, so r_j = c_j - Σ_i c_basis[i] · tab[i][j].
@@ -292,7 +315,7 @@ func simplex(tab [][]float64, basis []int, cost []float64, total int) Status {
 			}
 		}
 		if enter == -1 {
-			return Optimal
+			return Optimal, nil
 		}
 		// Ratio test with Bland tie-breaking on basis index.
 		leave := -1
@@ -307,7 +330,7 @@ func simplex(tab [][]float64, basis []int, cost []float64, total int) Status {
 			}
 		}
 		if leave == -1 {
-			return Unbounded
+			return Unbounded, nil
 		}
 		pivot(tab, basis, leave, enter, total)
 	}

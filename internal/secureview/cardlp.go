@@ -183,11 +183,10 @@ func CardinalityLPRound(p *Problem, opts RoundingOptions) (Solution, float64, er
 	return CardinalityLPRoundCtx(context.Background(), p, opts)
 }
 
-// CardinalityLPRoundCtx is CardinalityLPRound with cancellation points at
-// the LP boundary and between rounding trials (the simplex itself runs to
-// completion; it is polynomial, unlike the searches the context plumbing
-// exists to bound). On expiry it returns ctx.Err() and, when at least one
-// trial finished, the cheapest feasible rounding so far.
+// CardinalityLPRoundCtx is CardinalityLPRound with cancellation inside the
+// simplex (polled every few dozen pivots) and between rounding trials. On
+// expiry it returns ctx.Err() and, when at least one trial finished, the
+// cheapest feasible rounding so far.
 func CardinalityLPRoundCtx(ctx context.Context, p *Problem, opts RoundingOptions) (Solution, float64, error) {
 	if err := p.Validate(Cardinality); err != nil {
 		return Solution{}, 0, err
@@ -196,7 +195,10 @@ func CardinalityLPRoundCtx(ctx context.Context, p *Problem, opts RoundingOptions
 		return Solution{}, 0, err
 	}
 	prob, idx := buildCardLP(p, FullForm)
-	lpSol := prob.Solve()
+	lpSol, err := prob.SolveCtx(ctx)
+	if err != nil {
+		return Solution{}, 0, err
+	}
 	if lpSol.Status != lp.Optimal {
 		return Solution{}, 0, fmt.Errorf("secureview: cardinality LP %v", lpSol.Status)
 	}

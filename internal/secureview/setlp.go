@@ -26,10 +26,10 @@ func SetLPRound(p *Problem) (Solution, float64, error) {
 	return SetLPRoundCtx(context.Background(), p)
 }
 
-// SetLPRoundCtx is SetLPRound with cancellation points at the LP boundary
-// (the polynomial simplex itself runs to completion). On expiry it returns
-// ctx.Err() and no solution — the rounding is a single deterministic
-// threshold pass, so there is no meaningful partial result.
+// SetLPRoundCtx is SetLPRound with cancellation inside the simplex (polled
+// every few dozen pivots). On expiry it returns ctx.Err() and no solution —
+// the rounding is a single deterministic threshold pass, so there is no
+// meaningful partial result.
 func SetLPRoundCtx(ctx context.Context, p *Problem) (Solution, float64, error) {
 	if err := p.Validate(Set); err != nil {
 		return Solution{}, 0, err
@@ -93,7 +93,10 @@ func SetLPRoundCtx(ctx context.Context, p *Problem) (Solution, float64, error) {
 		prob.MustAddConstraint(sum, lp.GE, 1)
 	}
 
-	lpSol := prob.Solve()
+	lpSol, err := prob.SolveCtx(ctx)
+	if err != nil {
+		return Solution{}, 0, err
+	}
 	if lpSol.Status != lp.Optimal {
 		return Solution{}, 0, fmt.Errorf("secureview: set LP %v", lpSol.Status)
 	}

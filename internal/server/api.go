@@ -17,7 +17,8 @@ import (
 //     same workflow content pay one derivation.
 //   - Generated is a (class, seed) reference into the internal/gen scenario
 //     space: workflow topology classes (gen.Classes) derive like specs;
-//     abstract instance classes (gen.ProblemClasses) are generated directly.
+//     abstract instance classes (gen.ProblemClasses and the mega-scale
+//     gen.MegaProblemClasses) are generated directly.
 type SolveRequest struct {
 	Spec      *spec.Document `json:"spec,omitempty"`
 	Generated *GeneratedRef  `json:"generated,omitempty"`
@@ -105,6 +106,14 @@ type BatchResult struct {
 // BatchResponse pairs results with the request's jobs, in order.
 type BatchResponse struct {
 	Results []BatchResult `json:"results"`
+}
+
+// SolversResponse is the GET /v1/solvers payload: every registered solver
+// with its declared capabilities (variants, exactness, certification,
+// structural limits and the certified-factor description), straight from
+// the solve registry's Capabilities declarations.
+type SolversResponse struct {
+	Solvers []solve.Info `json:"solvers"`
 }
 
 // StatsResponse is the GET /v1/stats payload: shared-Session cache

@@ -5,7 +5,7 @@
 // Endpoints:
 //
 //	GET  /healthz     liveness probe
-//	GET  /v1/solvers  registered solver names
+//	GET  /v1/solvers  registered solvers with declared capabilities
 //	GET  /v1/stats    shared-Session cache stats and the admission gauge
 //	POST /v1/solve    one SolveRequest -> SolveResponse
 //	POST /v1/batch    BatchRequest -> BatchResponse via solve.SolveBatch
@@ -131,7 +131,7 @@ func (s *Server) Handler() http.Handler {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string][]string{"solvers": solve.Names()})
+		writeJSON(w, http.StatusOK, SolversResponse{Solvers: solve.Solvers()})
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -404,7 +404,7 @@ func (s *Server) resolveGenerated(ctx context.Context, req *SolveRequest, v secu
 		}
 		return s.sess.Problem(ctx, it.W, v, it.Gamma, it.Costs, it.PrivatizeCosts)
 	}
-	for _, c := range gen.ProblemClasses() {
+	for _, c := range append(gen.ProblemClasses(), gen.MegaProblemClasses()...) {
 		if c.Name == ref.Class {
 			// Abstract instances carry their requirement lists directly;
 			// Γ and the Session do not apply.
@@ -425,7 +425,7 @@ func classNames() []string {
 
 func problemClassNames() []string {
 	var out []string
-	for _, c := range gen.ProblemClasses() {
+	for _, c := range append(gen.ProblemClasses(), gen.MegaProblemClasses()...) {
 		out = append(out, c.Name)
 	}
 	return out

@@ -212,6 +212,10 @@ type stallSolver struct {
 
 func (s *stallSolver) Name() string { return s.name }
 
+func (s *stallSolver) Capabilities() solve.Capabilities {
+	return solve.Capabilities{Cardinality: true, Set: true}
+}
+
 func (s *stallSolver) Supports(p *secureview.Problem, v secureview.Variant) error { return nil }
 
 func (s *stallSolver) Solve(ctx context.Context, p *secureview.Problem, opts solve.Options) (solve.Result, error) {
@@ -245,6 +249,7 @@ func TestAdmissionRejectsUnderSaturation(t *testing.T) {
 		release: make(chan struct{}),
 	}
 	solve.Register(stall)
+	t.Cleanup(func() { solve.Deregister("test-stall") })
 	_, ts := newTestServer(t, server.Config{MaxInFlight: 1})
 
 	req := server.SolveRequest{
@@ -340,6 +345,10 @@ func TestBatchAdmissionWeight(t *testing.T) {
 func TestDeadlinePartialIncumbent(t *testing.T) {
 	solve.Register(&stallSolver{name: "test-stall-partial", partial: true, release: make(chan struct{})})
 	solve.Register(&stallSolver{name: "test-stall-empty", release: make(chan struct{})})
+	t.Cleanup(func() {
+		solve.Deregister("test-stall-partial")
+		solve.Deregister("test-stall-empty")
+	})
 	_, ts := newTestServer(t, server.Config{})
 
 	// Deadline + feasible incumbent -> 206 with the partial solution (the
@@ -502,21 +511,30 @@ func TestStatsAndSolvers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sv struct {
-		Solvers []string `json:"solvers"`
-	}
+	var sv server.SolversResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sv); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	found := map[string]bool{}
-	for _, n := range sv.Solvers {
-		found[n] = true
+	found := map[string]solve.Capabilities{}
+	for _, info := range sv.Solvers {
+		found[info.Name] = info.Capabilities
 	}
-	for _, want := range []string{"exact", "bb", "engine", "greedy", "lp"} {
-		if !found[want] {
+	for _, want := range []string{"exact", "bb", "engine", "greedy", "lp",
+		"approx-setcover", "approx-labelcover", "portfolio"} {
+		if _, ok := found[want]; !ok {
 			t.Fatalf("solver %q missing from %v", want, sv.Solvers)
 		}
+	}
+	// Capabilities must round-trip with meaningful content, not zero values.
+	if c := found["exact"]; !c.Exact || !c.Cardinality || !c.Set || c.Factor == "" {
+		t.Fatalf("exact capabilities hollow: %+v", c)
+	}
+	if c := found["approx-setcover"]; c.Exact || !c.Certified || c.Factor == "" {
+		t.Fatalf("approx-setcover capabilities wrong: %+v", c)
+	}
+	if c := found["engine"]; !c.AllPrivateOnly || c.MaxUniverse == 0 {
+		t.Fatalf("engine capabilities wrong: %+v", c)
 	}
 }
 

@@ -1,0 +1,268 @@
+package solve
+
+// approx.go is the certified approximation tier: solvers that route a
+// Secure-View instance through the forward reductions of
+// internal/reductions onto classical weighted set cover / label cover, run
+// the combopt approximation algorithms there, and pull the cover back. They
+// exist for the scale regime the exact tier declares itself out of — mega
+// workflows whose useful-attribute universe is far beyond 2^k enumeration —
+// and every result carries a certificate that is sound BY CONSTRUCTION
+// relative to the reported lower bound: Result.Cost ≤ Bound.Factor ×
+// Bound.LP always holds, so the differential harness can assert it on
+// instances where no exact optimum will ever be known.
+//
+// The portfolio meta-solver races the exact tier against the approximation
+// tier under one context: the first solver to prove optimality wins and the
+// rest are cancelled mid-search; when nobody proves optimality (the mega
+// regime), the cheapest certified result wins.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"secureview/internal/reductions"
+	"secureview/internal/secureview"
+)
+
+func init() {
+	Register(setCoverApproxSolver{})
+	Register(labelCoverApproxSolver{})
+	Register(portfolioSolver{})
+}
+
+// setCoverApproxSolver reduces to weighted set cover (one universe element
+// per private module, one weighted set per requirement-option realization)
+// and runs the weighted greedy. The pulled-back solution costs at most
+// H(d)·μ times the reported lower bound — the set-cover LP optimum divided
+// by the charge multiplicity μ when the simplex finishes in time, the
+// dual-fitting bound coverWeight/(H(d)·μ) otherwise.
+type setCoverApproxSolver struct{}
+
+func (setCoverApproxSolver) Name() string { return "approx-setcover" }
+
+func (setCoverApproxSolver) Capabilities() Capabilities {
+	return Capabilities{Cardinality: true, Set: true, Certified: true,
+		Factor: "H(d)·μ vs set-cover LP"}
+}
+
+func (s setCoverApproxSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return s.Capabilities().check("approx-setcover", p, v)
+}
+
+func (setCoverApproxSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	inst, err := reductions.ToSetCover(p, opts.Variant)
+	if err != nil {
+		return Result{Solver: "approx-setcover", Variant: opts.Variant}, err
+	}
+	cover, err := inst.SC.GreedyCtx(ctx)
+	if err != nil {
+		return Result{Solver: "approx-setcover", Variant: opts.Variant}, err
+	}
+	coverWeight := inst.SC.CostOf(cover)
+	// Prefer the LP lower bound (tighter); fall back to dual fitting when
+	// the simplex is cancelled or the instance degenerates. Either way
+	// pull-back cost ≤ coverWeight ≤ Factor × bound.
+	bound, lbErr := inst.LowerBoundCtx(ctx)
+	if lbErr != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{Solver: "approx-setcover", Variant: opts.Variant}, err
+		}
+		bound = inst.DualBound(coverWeight)
+	}
+	sol := inst.PullBack(cover)
+	return finish("approx-setcover", p, opts.Variant, sol, false,
+		Bound{LP: bound, Factor: inst.Factor(),
+			Theorem: "Chvátal dual fitting × μ-charging (Theorem 7 machinery)"},
+		Counters{Checked: len(inst.SC.Sets)}), nil
+}
+
+// labelCoverApproxSolver reduces an all-private set-constraint instance to
+// a two-vertex weighted label cover (labels = option input/output parts)
+// and runs the weighted greedy assignment. The pulled-back solution costs
+// at most μ times the reported lower bound Σ_i min_j c(option j)/μ — the
+// Theorem 7 charging argument in label-cover form.
+type labelCoverApproxSolver struct{}
+
+func (labelCoverApproxSolver) Name() string { return "approx-labelcover" }
+
+func (labelCoverApproxSolver) Capabilities() Capabilities {
+	return Capabilities{Set: true, Certified: true, AllPrivateOnly: true,
+		Factor: "μ vs per-module minimum"}
+}
+
+func (s labelCoverApproxSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return s.Capabilities().check("approx-labelcover", p, v)
+}
+
+func (labelCoverApproxSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	inst, err := reductions.ToLabelCover(p)
+	if err != nil {
+		return Result{Solver: "approx-labelcover", Variant: opts.Variant}, err
+	}
+	a, err := inst.LC.GreedyAssignmentCtx(ctx)
+	if err != nil {
+		return Result{Solver: "approx-labelcover", Variant: opts.Variant}, err
+	}
+	sol := inst.PullBack(a)
+	return finish("approx-labelcover", p, opts.Variant, sol, false,
+		Bound{LP: inst.LowerBound, Factor: float64(inst.Mult),
+			Theorem: "Theorem 7 charging via label cover"},
+		Counters{Checked: len(inst.LC.Edges)}), nil
+}
+
+// portfolioSolver races every other applicable registered solver under one
+// shared context. The first result proving optimality wins immediately and
+// the losers are cancelled mid-search (their next budget poll observes the
+// cancel). When nobody proves optimality — the mega regime, where the
+// exact tier exits early with typed budget errors — the cheapest certified
+// result wins, then the cheapest feasible one; names break cost ties so
+// the outcome is deterministic given the set of finishers.
+//
+// Exact racers get their node budget clamped to portfolioProbeNodes: an
+// unclamped branch and bound would grind out its full default budget on a
+// mega instance while the approximation tier sits finished, and the
+// portfolio cannot return an uncertified wait as its answer. The clamp is
+// orders of magnitude above what the small scenario classes need to prove
+// optimality, so the "exact wins when exact is feasible" behavior is
+// unchanged there.
+type portfolioSolver struct{}
+
+// portfolioProbeNodes clamps the node budget of exact racers inside the
+// portfolio (see portfolioSolver).
+const portfolioProbeNodes = 1 << 16
+
+func (portfolioSolver) Name() string { return "portfolio" }
+
+func (portfolioSolver) Capabilities() Capabilities {
+	return Capabilities{Cardinality: true, Set: true, Certified: true,
+		Factor: "best inner certificate (1 when an exact solver finishes)"}
+}
+
+func (portfolioSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	if err := p.Validate(v); err != nil {
+		return err
+	}
+	if len(innerSolvers(p, v)) == 0 {
+		return fmt.Errorf("solve: portfolio has no applicable inner solver for this instance")
+	}
+	return nil
+}
+
+// innerSolvers returns, in name order, the applicable solvers the
+// portfolio races — every registered solver but itself. The portfolio is
+// excluded BEFORE its Supports is consulted (For would recurse through it).
+func innerSolvers(p *secureview.Problem, v secureview.Variant) []Solver {
+	var out []Solver
+	for _, n := range Names() {
+		if n == "portfolio" {
+			continue
+		}
+		if s, ok := Get(n); ok && s.Supports(p, v) == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (portfolioSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	inner := innerSolvers(p, opts.Variant)
+	if len(inner) == 0 {
+		return Result{Solver: "portfolio", Variant: opts.Variant},
+			fmt.Errorf("solve: portfolio has no applicable inner solver")
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res Result
+		err error
+	}
+	// Buffered to the racer count: losers finishing after the winner park
+	// their outcome in the channel and exit, leaking nothing.
+	results := make(chan outcome, len(inner))
+	for _, s := range inner {
+		s := s
+		innerOpts := opts
+		if s.Capabilities().Exact && innerOpts.NodeBudget > portfolioProbeNodes {
+			innerOpts.NodeBudget = portfolioProbeNodes
+		}
+		go func() {
+			res, err := s.Solve(raceCtx, p, innerOpts)
+			results <- outcome{res, err}
+		}()
+	}
+
+	tag := func(res Result) Result {
+		res.Solver = "portfolio/" + res.Solver
+		return res
+	}
+	better := func(a, b Result) bool { // does a beat the incumbent b?
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return a.Solver < b.Solver
+	}
+	var bestCertified, bestFeasible *Result
+	var lastErr error
+	for done := 0; done < len(inner); done++ {
+		o := <-results
+		if o.err == nil && o.res.Optimal {
+			// Proven optimum: cancel the losers and return without waiting
+			// for them (they park their outcomes in the buffered channel).
+			cancel()
+			return tag(o.res), nil
+		}
+		if o.err != nil && !o.res.Partial {
+			// Keep the most informative error: anything beats nothing, and a
+			// real failure beats routine budget/deadline exhaustion.
+			routine := errors.Is(o.err, secureview.ErrNodeBudget) ||
+				errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded)
+			if lastErr == nil || !routine {
+				lastErr = fmt.Errorf("portfolio %s: %w", o.res.Solver, o.err)
+			}
+			continue
+		}
+		res := o.res
+		if !p.Feasible(res.Solution, opts.Variant) {
+			continue
+		}
+		if res.Bound.Factor > 0 {
+			if bestCertified == nil || better(res, *bestCertified) {
+				bestCertified = &res
+			}
+		}
+		if bestFeasible == nil || better(res, *bestFeasible) {
+			bestFeasible = &res
+		}
+	}
+	switch {
+	case bestCertified != nil:
+		return tag(*bestCertified), nil
+	case bestFeasible != nil:
+		return tag(*bestFeasible), nil
+	case ctx.Err() != nil:
+		// The caller's own context died and nothing finished: report that,
+		// not whichever racer's budget error happened to arrive last.
+		return Result{Solver: "portfolio", Variant: opts.Variant}, ctx.Err()
+	case lastErr != nil:
+		return Result{Solver: "portfolio", Variant: opts.Variant}, lastErr
+	default:
+		return Result{Solver: "portfolio", Variant: opts.Variant},
+			fmt.Errorf("solve: portfolio found no feasible solution")
+	}
+}
+
+// CertifiedGap returns Cost − Factor×LP for a certified result (and +Inf
+// for an uncertified one). The approximation tier guarantees the gap is
+// ≤ 0 up to float slack; the differential harness and the solver tests
+// assert exactly that.
+func CertifiedGap(r Result) float64 {
+	if r.Bound.Factor <= 0 {
+		return math.Inf(1)
+	}
+	return r.Cost - r.Bound.Factor*r.Bound.LP
+}

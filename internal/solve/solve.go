@@ -123,13 +123,78 @@ type Result struct {
 	Counters Counters
 }
 
+// Capabilities declares what a solver can do, as data: which variants it
+// accepts, whether it proves optimality or certifies an approximation
+// factor, and the structural limits it imposes. Supports checks and the
+// /v1/solvers endpoint both derive from this one declaration, so a solver
+// cannot advertise one thing and enforce another.
+type Capabilities struct {
+	// Cardinality / Set report which constraint variants the solver accepts.
+	Cardinality bool `json:"cardinality"`
+	Set         bool `json:"set"`
+	// Exact is true when the solver proves optimality on every instance it
+	// accepts (modulo budget exhaustion, reported as a typed error).
+	Exact bool `json:"exact"`
+	// Certified is true when results carry a non-trivial Bound certificate
+	// (Factor > 0) at least on the instances the capability check admits.
+	Certified bool `json:"certified"`
+	// AllPrivateOnly is true when the solver rejects instances with public
+	// modules (its cost model has no privatization closure).
+	AllPrivateOnly bool `json:"allPrivateOnly"`
+	// MaxUniverse caps the useful-attribute count (0 = uncapped). Violations
+	// are reported as a typed error wrapping secureview.ErrNodeBudget, so
+	// harnesses treat "declared too big for this solver" like any other
+	// budget exhaustion.
+	MaxUniverse int `json:"maxUniverse,omitempty"`
+	// Factor describes the certified approximation factor in prose ("1",
+	// "H(d)·μ vs LP", ...), for display only.
+	Factor string `json:"factor,omitempty"`
+}
+
+// check is the shared Supports implementation: validate the variant against
+// the declaration, then the structural limits.
+func (c Capabilities) check(name string, p *secureview.Problem, v secureview.Variant) error {
+	switch v {
+	case secureview.Cardinality:
+		if !c.Cardinality {
+			return fmt.Errorf("solve: %s does not handle the cardinality variant", name)
+		}
+	case secureview.Set:
+		if !c.Set {
+			return fmt.Errorf("solve: %s does not handle the set variant", name)
+		}
+	default:
+		return fmt.Errorf("solve: unknown variant %v", v)
+	}
+	if err := p.Validate(v); err != nil {
+		return err
+	}
+	if c.AllPrivateOnly {
+		for _, m := range p.Modules {
+			if m.Public {
+				return fmt.Errorf("solve: %s requires an all-private instance (public module %q)", name, m.Name)
+			}
+		}
+	}
+	if c.MaxUniverse > 0 {
+		if k := len(p.UsefulAttributes(v)); k > c.MaxUniverse {
+			return fmt.Errorf("solve: %s universe %d exceeds %d attributes: %w",
+				name, k, c.MaxUniverse, secureview.ErrNodeBudget)
+		}
+	}
+	return nil
+}
+
 // Solver is one registered Secure-View solver.
 type Solver interface {
 	// Name is the registry key.
 	Name() string
+	// Capabilities declares variants, certification and structural limits.
+	Capabilities() Capabilities
 	// Supports reports whether the solver can handle (p, variant); a
 	// non-nil error explains why not (wrong variant, public modules,
-	// universe too large, ...).
+	// universe too large, ...). Implementations derive this from
+	// Capabilities().check plus any instance-shape checks of their own.
 	Supports(p *secureview.Problem, v secureview.Variant) error
 	// Solve runs the solver. Implementations observe ctx within one pruning
 	// epoch and return ctx.Err() on expiry (with Result.Partial set when an
@@ -150,6 +215,14 @@ func Register(s Solver) {
 	registry[s.Name()] = s
 }
 
+// Deregister removes a solver by name (tests use this to clean up injected
+// probes). Removing an unknown name is a no-op.
+func Deregister(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, name)
+}
+
 // Get returns the named solver.
 func Get(name string) (Solver, bool) {
 	regMu.RLock()
@@ -167,6 +240,25 @@ func Names() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Info pairs a solver name with its declared capabilities; it is the
+// wire shape of /v1/solvers and the -solvers CLI listing.
+type Info struct {
+	Name         string       `json:"name"`
+	Capabilities Capabilities `json:"capabilities"`
+}
+
+// Solvers returns every registered solver's Info, sorted by name.
+func Solvers() []Info {
+	names := Names()
+	out := make([]Info, 0, len(names))
+	for _, n := range names {
+		if s, ok := Get(n); ok {
+			out = append(out, Info{Name: n, Capabilities: s.Capabilities()})
+		}
+	}
 	return out
 }
 

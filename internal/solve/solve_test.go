@@ -25,9 +25,21 @@ func within(a, b float64) bool {
 }
 
 func TestRegistryNamesAndCapabilities(t *testing.T) {
-	want := []string{"bb", "engine", "exact", "greedy", "lp"}
+	want := []string{"approx-labelcover", "approx-setcover", "bb", "engine", "exact", "greedy", "lp", "portfolio"}
 	if got := solve.Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	infos := solve.Solvers()
+	if len(infos) != len(want) {
+		t.Fatalf("Solvers() returned %d entries, want %d", len(infos), len(want))
+	}
+	for i, info := range infos {
+		if info.Name != want[i] {
+			t.Fatalf("Solvers()[%d] = %q, want %q", i, info.Name, want[i])
+		}
+		if !info.Capabilities.Cardinality && !info.Capabilities.Set {
+			t.Errorf("%s declares no variant at all", info.Name)
+		}
 	}
 	p := gen.Problem(gen.ProblemConfig{Modules: 4}, 1)
 	if s, _ := solve.Get("bb"); s.Supports(p, secureview.Set) == nil {

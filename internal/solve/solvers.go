@@ -53,8 +53,12 @@ type exactSolver struct{}
 
 func (exactSolver) Name() string { return "exact" }
 
-func (exactSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
-	return p.Validate(v)
+func (exactSolver) Capabilities() Capabilities {
+	return Capabilities{Cardinality: true, Set: true, Exact: true, Certified: true, Factor: "1"}
+}
+
+func (s exactSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return s.Capabilities().check("exact", p, v)
 }
 
 func (exactSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
@@ -84,11 +88,12 @@ type bbSolver struct{}
 
 func (bbSolver) Name() string { return "bb" }
 
-func (bbSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
-	if v != secureview.Cardinality {
-		return fmt.Errorf("solve: bb handles only the cardinality variant")
-	}
-	return p.Validate(v)
+func (bbSolver) Capabilities() Capabilities {
+	return Capabilities{Cardinality: true, Exact: true, Certified: true, Factor: "1"}
+}
+
+func (s bbSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return s.Capabilities().check("bb", p, v)
 }
 
 func (bbSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
@@ -112,19 +117,13 @@ type engineSolver struct{}
 
 func (engineSolver) Name() string { return "engine" }
 
-func (engineSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
-	if err := p.Validate(v); err != nil {
-		return err
-	}
-	for _, m := range p.Modules {
-		if m.Public {
-			return fmt.Errorf("solve: engine requires an all-private instance (public module %q)", m.Name)
-		}
-	}
-	if k := len(p.UsefulAttributes(v)); k > search.MaxAttrs {
-		return fmt.Errorf("solve: engine universe %d exceeds %d attributes", k, search.MaxAttrs)
-	}
-	return nil
+func (engineSolver) Capabilities() Capabilities {
+	return Capabilities{Cardinality: true, Set: true, Exact: true, Certified: true,
+		AllPrivateOnly: true, MaxUniverse: search.MaxAttrs, Factor: "1"}
+}
+
+func (s engineSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return s.Capabilities().check("engine", p, v)
 }
 
 func (engineSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
@@ -160,8 +159,13 @@ type greedySolver struct{}
 
 func (greedySolver) Name() string { return "greedy" }
 
-func (greedySolver) Supports(p *secureview.Problem, v secureview.Variant) error {
-	return p.Validate(v)
+func (greedySolver) Capabilities() Capabilities {
+	return Capabilities{Cardinality: true, Set: true, Certified: true,
+		Factor: "γ+1 (all-private; Theorem 7)"}
+}
+
+func (s greedySolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return s.Capabilities().check("greedy", p, v)
 }
 
 func (greedySolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
@@ -194,8 +198,18 @@ type lpSolver struct{}
 
 func (lpSolver) Name() string { return "lp" }
 
-func (lpSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
-	return p.Validate(v)
+// lpMaxUniverse caps the LP solvers' attribute universe: the dense simplex
+// tableau grows with (attrs × options)², and beyond ~64 attributes one
+// solve takes long enough that the mega classes would stall the portfolio.
+const lpMaxUniverse = 64
+
+func (lpSolver) Capabilities() Capabilities {
+	return Capabilities{Cardinality: true, Set: true, Certified: true,
+		MaxUniverse: lpMaxUniverse, Factor: "ℓmax vs LP (set); O(log n) w.h.p. (card)"}
+}
+
+func (s lpSolver) Supports(p *secureview.Problem, v secureview.Variant) error {
+	return s.Capabilities().check("lp", p, v)
 }
 
 func (lpSolver) Solve(ctx context.Context, p *secureview.Problem, opts Options) (Result, error) {
