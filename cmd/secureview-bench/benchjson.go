@@ -19,6 +19,7 @@ import (
 	"secureview/internal/exp"
 	"secureview/internal/gen"
 	"secureview/internal/oracle"
+	"secureview/internal/privacy"
 	"secureview/internal/search"
 	"secureview/internal/secureview"
 	"secureview/internal/solve"
@@ -34,6 +35,13 @@ type benchResult struct {
 	Pruned  int      `json:"pruned"`
 	Cost    float64  `json:"cost"`
 	Hidden  []string `json:"hidden"`
+
+	// Oracle-pass accounting (engine rows only): how many oracle
+	// invocations the run issued and the largest number of masks answered
+	// by one of them. Per-mask oracles report OraclePasses == Checked and
+	// BatchSize 1; the batched compiled path amortizes many masks per pass.
+	OraclePasses int `json:"oracle_passes,omitempty"`
+	BatchSize    int `json:"batch_size,omitempty"`
 }
 
 // timeBest runs fn reps times and returns the fastest wall-clock run.
@@ -55,25 +63,37 @@ func timeBest(reps int, fn func() (search.Result, error)) (search.Result, time.D
 	return res, best, nil
 }
 
-func writeBenchJSON(path string, quick bool) error {
+// collectBenchResults runs the full measurement sweep — standalone search
+// rows, scenario rows, mega rows — and returns them in deterministic order.
+// The gate mode (-benchgate) reuses exactly this collection so the numbers
+// it compares are the numbers the baseline writer would commit; it passes a
+// repsOverride > 0 so even quick sweeps take a best-of-several, since a
+// single cold run of a sub-millisecond row is mostly scheduler noise.
+func collectBenchResults(quick bool, repsOverride int) ([]benchResult, error) {
 	ks := []int{14, 16, 18}
 	reps := 3
 	if quick {
 		ks = []int{12, 14}
 		reps = 1
 	}
+	if repsOverride > 0 {
+		reps = repsOverride
+	}
 	var results []benchResult
 	for _, k := range ks {
 		mv, costs, gamma := exp.SearchBenchInstance(k)
 		sp, err := search.NewSpace(mv.Attrs(), costs.Of)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		interpreted := func(v search.Mask) (bool, error) { return mv.IsSafe(sp.NameSet(v), gamma) }
 		comp, err := mv.Compile()
 		if err != nil {
-			return err
+			return nil, err
 		}
+		// The compiled row runs the full production configuration: batched
+		// oracle passes plus equal-cost equivalence-class symmetry breaking.
+		compiledOpts := privacy.CompiledSearchOptions(comp, costs, gamma, search.Options{})
 		compiled := func(v search.Mask) (bool, error) { return comp.IsSafe(oracle.Mask(v), gamma), nil }
 
 		variants := []struct {
@@ -82,16 +102,16 @@ func writeBenchJSON(path string, quick bool) error {
 		}{
 			{"naive", func() (search.Result, error) { return sp.NaiveMinCost(interpreted) }},
 			{"engine-interpreted", func() (search.Result, error) { return sp.MinCost(interpreted, search.Options{}) }},
-			{"engine-compiled", func() (search.Result, error) { return sp.MinCost(compiled, search.Options{}) }},
+			{"engine-compiled", func() (search.Result, error) { return sp.MinCost(compiled, compiledOpts) }},
 		}
 		var reference search.Result
 		for vi, v := range variants {
 			res, best, err := timeBest(reps, v.run)
 			if err != nil {
-				return fmt.Errorf("%s k=%d: %w", v.name, k, err)
+				return nil, fmt.Errorf("%s k=%d: %w", v.name, k, err)
 			}
 			if !res.Found {
-				return fmt.Errorf("%s k=%d: no safe subset found", v.name, k)
+				return nil, fmt.Errorf("%s k=%d: no safe subset found", v.name, k)
 			}
 			switch vi {
 			case 0:
@@ -101,38 +121,47 @@ func writeBenchJSON(path string, quick bool) error {
 				reference = res
 			case 1:
 				if res.Cost != reference.Cost {
-					return fmt.Errorf("%s k=%d: optimal cost %g diverges from naive %g",
+					return nil, fmt.Errorf("%s k=%d: optimal cost %g diverges from naive %g",
 						v.name, k, res.Cost, reference.Cost)
 				}
 				reference = res // engine runs must agree exactly from here on
 			default:
 				if res.Cost != reference.Cost || res.Hidden != reference.Hidden {
-					return fmt.Errorf("%s k=%d: optimum (hidden=%b cost=%g) diverges from engine-interpreted (hidden=%b cost=%g)",
+					return nil, fmt.Errorf("%s k=%d: optimum (hidden=%b cost=%g) diverges from engine-interpreted (hidden=%b cost=%g)",
 						v.name, k, res.Hidden, res.Cost, reference.Hidden, reference.Cost)
 				}
 			}
 			results = append(results, benchResult{
-				Name:    "standalone-search/" + v.name,
-				K:       k,
-				Gamma:   gamma,
-				NsPerOp: best.Nanoseconds(),
-				Checked: res.Stats.Checked,
-				Pruned:  res.Stats.Pruned,
-				Cost:    res.Cost,
-				Hidden:  sp.NameSet(res.Hidden).Sorted(),
+				Name:         "standalone-search/" + v.name,
+				K:            k,
+				Gamma:        gamma,
+				NsPerOp:      best.Nanoseconds(),
+				Checked:      res.Stats.Checked,
+				Pruned:       res.Stats.Pruned,
+				Cost:         res.Cost,
+				Hidden:       sp.NameSet(res.Hidden).Sorted(),
+				OraclePasses: res.Stats.OraclePasses,
+				BatchSize:    res.Stats.BatchSize,
 			})
 		}
 	}
-	scen, err := scenarioResults(quick)
+	scen, err := scenarioResults(quick, repsOverride)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	results = append(results, scen...)
 	mega, err := megaResults(quick)
 	if err != nil {
+		return nil, err
+	}
+	return append(results, mega...), nil
+}
+
+func writeBenchJSON(path string, quick bool) error {
+	results, err := collectBenchResults(quick, 0)
+	if err != nil {
 		return err
 	}
-	results = append(results, mega...)
 	raw, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
@@ -146,10 +175,13 @@ func writeBenchJSON(path string, quick bool) error {
 // tracks performance per topology class, not just per k. Solver sanity
 // (greedy and the LP rounding never beating the exact optimum) fails the
 // run, mirroring the cross-variant checks of the standalone rows.
-func scenarioResults(quick bool) ([]benchResult, error) {
+func scenarioResults(quick bool, repsOverride int) ([]benchResult, error) {
 	reps := 3
 	if quick {
 		reps = 1
+	}
+	if repsOverride > 0 {
+		reps = repsOverride
 	}
 	var results []benchResult
 	for _, cl := range gen.Classes() {
@@ -273,7 +305,11 @@ func scenarioResults(quick bool) ([]benchResult, error) {
 			results = append(results, benchResult{
 				Name: "scenario/" + cl.Name + "/" + row.name, K: k, Gamma: it.Gamma,
 				NsPerOp: best.Nanoseconds(), Cost: res.Cost,
-				Hidden: res.Solution.Hidden.Sorted(),
+				Hidden:       res.Solution.Hidden.Sorted(),
+				Checked:      res.Counters.Checked,
+				Pruned:       res.Counters.Pruned,
+				OraclePasses: res.Counters.OraclePasses,
+				BatchSize:    res.Counters.BatchSize,
 			})
 		}
 	}

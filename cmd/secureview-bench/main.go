@@ -10,6 +10,8 @@
 //	secureview-bench -exp E22 -quick                 # generated-scenario differential suite
 //	secureview-bench -benchjson BENCH_results.json   # machine-readable perf trajectory
 //	                                                 # (standalone-search/* and scenario/* rows)
+//	secureview-bench -benchgate BENCH_results.json -quick   # CI perf gate: fail on >35%
+//	                                                        # calibrated regression of gated rows
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "trim parameter sweeps")
 		parallel  = flag.Int("parallel", 0, "subset-search worker-pool size (0 = GOMAXPROCS)")
 		benchjson = flag.String("benchjson", "", "write machine-readable benchmark results to this JSON file and exit")
+		benchgate = flag.String("benchgate", "", "re-measure and fail if gated rows regress vs this baseline JSON (CI perf gate)")
 		timeout   = flag.Duration("timeout", 0, "overall deadline (0 = none); on expiry the experiments completed so far stand as partial results")
 	)
 	flag.Parse()
@@ -38,6 +41,14 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *benchgate != "" {
+		if err := runBenchGate(*benchgate, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "secureview-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *benchjson != "" {

@@ -266,6 +266,30 @@ func (r *Result) checkEngine(ctx context.Context, name string, p *secureview.Pro
 	if dx := res.Cost - optCost; dx > eps(optCost) || -dx > eps(optCost) {
 		r.violatef("%s: engine cost %g != exact optimum %g", name, res.Cost, optCost)
 	}
+
+	// Equivalence-class collapsing claims to preserve the exact (cost, lex)
+	// optimum: rerun with the collapse disabled and demand the identical
+	// hidden set, not just the cost.
+	plainOpts := opts.solveOptions(variant)
+	plainOpts.DisableCollapse = true
+	plain, err := solve.Solve(ctx, "engine", p, plainOpts)
+	r.SolverRuns++
+	if err != nil {
+		if cancelled(err) {
+			r.Skips++
+			return
+		}
+		r.violatef("%s: engine solver (collapse disabled) failed: %v", name, err)
+		return
+	}
+	// Costs are re-summed over a name-set (map) per run, so two runs over
+	// the same hidden set can differ in the last ulp; the hidden set itself
+	// must match exactly.
+	if dx := plain.Cost - res.Cost; !plain.Solution.Hidden.Equal(res.Solution.Hidden) ||
+		dx > eps(res.Cost) || -dx > eps(res.Cost) {
+		r.violatef("%s: collapse changed the engine optimum: %v (%g) vs %v (%g) without",
+			name, res.Solution.Hidden.Sorted(), res.Cost, plain.Solution.Hidden.Sorted(), plain.Cost)
+	}
 }
 
 // checkHeuristics runs Greedy and the variant's LP rounding against the
@@ -549,6 +573,23 @@ func (r *Result) checkStandalone(name string, it *gen.Instance, sess *solve.Sess
 		if engineC.Found != engine.Found || engineC.Hidden != engine.Hidden || engineC.Cost != engine.Cost {
 			r.violatef("%s/%s: compiled engine optimum (found=%v hidden=%b cost=%g) != interpreted (found=%v hidden=%b cost=%g)",
 				name, m.Name(), engineC.Found, engineC.Hidden, engineC.Cost, engine.Found, engine.Hidden, engine.Cost)
+		}
+
+		// The full tentpole configuration — batched passes plus oracle-level
+		// symmetry collapsing — must also be byte-identical to the plain run.
+		engineB, err := sp.MinCost(compiled, privacy.CompiledSearchOptions(comp, it.Costs, it.Gamma, opts.Search))
+		r.SolverRuns++
+		if err != nil {
+			r.violatef("%s/%s: batched+collapsed engine search failed: %v", name, m.Name(), err)
+			continue
+		}
+		if engineB.Found != engine.Found || engineB.Hidden != engine.Hidden || engineB.Cost != engine.Cost {
+			r.violatef("%s/%s: batched+collapsed engine optimum (found=%v hidden=%b cost=%g) != interpreted (found=%v hidden=%b cost=%g)",
+				name, m.Name(), engineB.Found, engineB.Hidden, engineB.Cost, engine.Found, engine.Hidden, engine.Cost)
+		}
+		if engineB.Stats.Checked+engineB.Stats.Pruned != 1<<sp.K() {
+			r.violatef("%s/%s: batched+collapsed engine counters Checked %d + Pruned %d != 2^%d",
+				name, m.Name(), engineB.Stats.Checked, engineB.Stats.Pruned, sp.K())
 		}
 	}
 }

@@ -1,0 +1,177 @@
+package oracle_test
+
+// Property tests for the batched oracle passes and the attribute
+// equivalence classes: IsSafeBatch/MinOutSizeBatch must agree with the
+// per-mask calls on every mask of every batch — on the bitfield fast path
+// and on the wide-module fallback — and EquivClasses members must be
+// interchangeable under every visibility mask.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"secureview/internal/module"
+	"secureview/internal/oracle"
+	"secureview/internal/privacy"
+	"secureview/internal/relation"
+)
+
+// randomMasks draws n masks (duplicates allowed) over a k-bit universe.
+func randomMasks(rng *rand.Rand, k, n int) []oracle.Mask {
+	out := make([]oracle.Mask, n)
+	for i := range out {
+		out[i] = randomMask(rng, k)
+	}
+	return out
+}
+
+// checkBatchAgrees asserts MinOutSizeBatch and IsSafeBatch answer exactly
+// like the per-mask calls for every mask in the batch.
+func checkBatchAgrees(t *testing.T, c *oracle.Compiled, masks []oracle.Mask, gamma uint64) {
+	t.Helper()
+	mins := c.MinOutSizeBatch(masks)
+	if len(mins) != len(masks) {
+		t.Fatalf("MinOutSizeBatch answered %d of %d masks", len(mins), len(masks))
+	}
+	safes := c.IsSafeBatch(masks, gamma)
+	if len(safes) != len(masks) {
+		t.Fatalf("IsSafeBatch answered %d of %d masks", len(safes), len(masks))
+	}
+	for i, m := range masks {
+		if want := c.MinOutSize(m); mins[i] != want {
+			t.Fatalf("mask %b (batch slot %d): MinOutSizeBatch = %d, MinOutSize = %d", m, i, mins[i], want)
+		}
+		if want := c.IsSafe(m, gamma); safes[i] != want {
+			t.Fatalf("mask %b (batch slot %d) Γ=%d: IsSafeBatch = %v, IsSafe = %v", m, i, gamma, safes[i], want)
+		}
+	}
+}
+
+func TestBatchMatchesPerMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		mv := randomModuleView(rng)
+		c, err := mv.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := c.K()
+		// Batch sizes straddling the chunk width (8), including empty,
+		// single, and duplicate-heavy batches.
+		for _, n := range []int{0, 1, 3, 8, 9, 20} {
+			masks := randomMasks(rng, k, n)
+			gamma := uint64(1 + rng.Intn(6))
+			checkBatchAgrees(t, c, masks, gamma)
+		}
+		// Every mask once, in order — the search engine's worst case.
+		all := make([]oracle.Mask, 1<<k)
+		for m := range all {
+			all[m] = oracle.Mask(m)
+		}
+		checkBatchAgrees(t, c, all, 2)
+	}
+}
+
+// TestBatchMatchesPerMaskWideModule forces the non-bitfield fallback: seven
+// domain-5 attributes need 3 bits each (21 > 20 total), so the compiled
+// oracle answers batches by per-mask delegation, which must still agree.
+func TestBatchMatchesPerMaskWideModule(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	in := make([]relation.Attribute, 3)
+	for i := range in {
+		in[i] = relation.Attribute{Name: fmt.Sprintf("x%d", i), Domain: 5}
+	}
+	out := make([]relation.Attribute, 4)
+	for i := range out {
+		out[i] = relation.Attribute{Name: fmt.Sprintf("y%d", i), Domain: 5}
+	}
+	mv := privacy.NewModuleView(module.Random("wide", in, out, rng))
+	c, err := mv.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		masks := randomMasks(rng, c.K(), 1+rng.Intn(12))
+		checkBatchAgrees(t, c, masks, uint64(1+rng.Intn(20)))
+	}
+}
+
+// TestEquivClasses pins the oracle-level equivalence detection on a
+// hand-built relation: x1 is x0 relabeled (same row partition), y1 equals
+// y0, and x2 is independent of both. Inputs and outputs never share a
+// class.
+func TestEquivClasses(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Bool("x0"), relation.Bool("x1"), relation.Bool("x2"),
+		relation.Bool("y0"), relation.Bool("y1"))
+	r := relation.New(s)
+	for _, row := range []relation.Tuple{
+		{0, 1, 0, 0, 0},
+		{0, 1, 1, 1, 1},
+		{1, 0, 0, 1, 1},
+		{1, 0, 1, 0, 0},
+	} {
+		if err := r.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := oracle.Compile(r, []string{"x0", "x1", "x2"}, []string{"y0", "y1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := c.EquivClasses()
+	if len(classes) != 2 {
+		t.Fatalf("EquivClasses = %v, want [[0 1] [3 4]]", classes)
+	}
+	for i, want := range [][]int{{0, 1}, {3, 4}} {
+		if len(classes[i]) != 2 || classes[i][0] != want[0] || classes[i][1] != want[1] {
+			t.Fatalf("EquivClasses = %v, want [[0 1] [3 4]]", classes)
+		}
+	}
+
+	// Interchangeability: swapping a class's members inside any mask must
+	// not move MinOutSize.
+	swap := func(m oracle.Mask, a, b int) oracle.Mask {
+		ba, bb := m>>a&1, m>>b&1
+		m &^= 1<<a | 1<<b
+		return m | ba<<b | bb<<a
+	}
+	for m := oracle.Mask(0); m < 1<<5; m++ {
+		for _, cl := range [][2]int{{0, 1}, {3, 4}} {
+			sw := swap(m, cl[0], cl[1])
+			if got, want := c.MinOutSize(sw), c.MinOutSize(m); got != want {
+				t.Fatalf("mask %05b vs swapped %05b: MinOutSize %d != %d", m, sw, got, want)
+			}
+		}
+	}
+}
+
+// TestEquivClassesRandomInterchangeable checks, on random modules, that
+// every detected class is truly oracle-interchangeable: exchanging any two
+// members inside any mask preserves MinOutSize.
+func TestEquivClassesRandomInterchangeable(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	classesSeen := 0
+	for trial := 0; trial < 120; trial++ {
+		mv := randomModuleView(rng)
+		c, err := mv.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cl := range c.EquivClasses() {
+			classesSeen++
+			a, b := cl[0], cl[1]
+			for m := oracle.Mask(0); m < 1<<c.K(); m++ {
+				ba, bb := m>>a&1, m>>b&1
+				sw := m&^(1<<a|1<<b) | ba<<b | bb<<a
+				if got, want := c.MinOutSize(sw), c.MinOutSize(m); got != want {
+					t.Fatalf("trial %d class %v mask %b: MinOutSize %d != %d", trial, cl, m, got, want)
+				}
+			}
+		}
+	}
+	if classesSeen == 0 {
+		t.Skip("no equivalence classes arose; widen the trial count")
+	}
+}

@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/bits"
 	"sync"
@@ -20,10 +21,6 @@ type Result struct {
 	// Stats reports safety tests performed vs candidates pruned.
 	Stats Stats
 }
-
-// frontierCap bounds the Proposition 1 domination stores; beyond it extra
-// frontier masks are dropped (pruning weakens, correctness is unaffected).
-const frontierCap = 256
 
 // sortedMax is the largest universe for which MinCost materializes the full
 // candidate list in (cost, lex) order (~36 bytes per mask across the rank
@@ -154,37 +151,103 @@ func (s *Space) sortCandidates() (masks []Mask, cost func(int) float64) {
 
 // minCostSorted materializes all candidates in (cost, lex) order and strides
 // workers over the sorted list. The answer is the lowest-index safe
-// candidate; workers past the current best index stop wholesale.
+// candidate; workers past the current best index stop wholesale. Candidates
+// that survive the pruning checks are tested in batches of Options.batchCap
+// per oracle pass (1 without a batch oracle).
 func (s *Space) minCostSorted(oracle Oracle, opts Options, cancelled *atomic.Bool) (Result, error) {
 	n := 1 << s.K()
 	masks, costOf := s.sortCandidates()
+
+	sym, err := s.newSymFilter(opts.Symmetry)
+	if err != nil {
+		return Result{}, err
+	}
+	prunedBase := 0
+	if sym != nil {
+		// Drop non-canonical candidates up front (the compaction preserves
+		// the (cost, lex) order and the shared cost backing); each one is a
+		// symmetry-pruned candidate.
+		kept := 0
+		for _, m := range masks {
+			if sym.canonical(m) {
+				masks[kept] = m
+				kept++
+			}
+		}
+		prunedBase = n - kept
+		masks = masks[:kept]
+		n = kept
+	}
 
 	workers := opts.workers()
 	if workers > n {
 		workers = n
 	}
 	all := s.All()
-	unsafeFront := newFrontier(frontierCap)
-	safeFront := newFrontier(frontierCap)
+	unsafeFront := newFrontier(opts.frontierCap())
+	safeFront := newFrontier(opts.frontierCap())
 	var bestIdx atomic.Int64
 	bestIdx.Store(int64(n)) // sentinel: nothing found
 	var checked, pruned atomic.Int64
+	var passes, maxBatch atomic.Int64
 	var firstErr atomic.Value
 	var failed atomic.Bool
+	batchCap := opts.batchCap()
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			idxBuf := make([]int, 0, batchCap)
+			visBuf := make([]Mask, 0, batchCap)
+			// The batch grows geometrically from 1 to batchCap: the optimum
+			// sits early in cost order, so tiny first batches establish the
+			// incumbent (and its pruning bound) before amortization kicks in.
+			curCap := 1
+			// flush tests the buffered candidates in one oracle pass and
+			// folds the verdicts into the frontiers and the best index. It
+			// returns false on oracle failure.
+			flush := func() bool {
+				if len(visBuf) == 0 {
+					return true
+				}
+				safes, err := testBatch(oracle, opts.Batch, visBuf)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					failed.Store(true)
+					return false
+				}
+				checked.Add(int64(len(visBuf)))
+				passes.Add(1)
+				raiseMax(&maxBatch, int64(len(visBuf)))
+				for i, safe := range safes {
+					if safe {
+						safeFront.insertMaximal(visBuf[i])
+						lowerBest(&bestIdx, int64(idxBuf[i]))
+					} else {
+						unsafeFront.insertMinimal(visBuf[i])
+					}
+				}
+				idxBuf, visBuf = idxBuf[:0], visBuf[:0]
+				if curCap < batchCap {
+					curCap *= 2
+					if curCap > batchCap {
+						curCap = batchCap
+					}
+				}
+				return true
+			}
 			for idx := w; idx < n; idx += workers {
 				if failed.Load() || cancelled.Load() {
 					return
 				}
 				if int64(idx) > bestIdx.Load() {
 					// Everything at or after idx in this stride is beaten by
-					// the incumbent's sort position; count and stop.
+					// the incumbent's sort position; count and stop. Buffered
+					// candidates precede the incumbent, so they still flush.
 					pruned.Add(int64((n - idx + workers - 1) / workers))
+					flush()
 					return
 				}
 				visible := all &^ masks[idx]
@@ -198,33 +261,67 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options, cancelled *atomic.Boo
 					lowerBest(&bestIdx, int64(idx))
 					continue
 				}
-				checked.Add(1)
-				safe, err := oracle(visible)
-				if err != nil {
-					firstErr.CompareAndSwap(nil, err)
-					failed.Store(true)
+				idxBuf = append(idxBuf, idx)
+				visBuf = append(visBuf, visible)
+				if len(visBuf) >= curCap && !flush() {
 					return
 				}
-				if safe {
-					safeFront.insertMaximal(visible)
-					lowerBest(&bestIdx, int64(idx))
-				} else {
-					unsafeFront.insertMinimal(visible)
-				}
 			}
+			flush()
 		}(w)
 	}
 	wg.Wait()
 	if err, ok := firstErr.Load().(error); ok {
 		return Result{}, err
 	}
-	res := Result{Stats: Stats{Checked: int(checked.Load()), Pruned: int(pruned.Load())}}
+	res := Result{Stats: Stats{
+		Checked:         int(checked.Load()),
+		Pruned:          int(pruned.Load()) + prunedBase,
+		OraclePasses:    int(passes.Load()),
+		BatchSize:       int(maxBatch.Load()),
+		FrontierDropped: unsafeFront.droppedCount() + safeFront.droppedCount(),
+	}}
 	if idx := bestIdx.Load(); idx < int64(n) {
 		res.Hidden = masks[idx]
 		res.Cost = costOf(int(idx))
 		res.Found = true
 	}
 	return res, nil
+}
+
+// testBatch runs one oracle pass over the buffered visible masks: the batch
+// oracle when one is configured and the buffer holds more than one mask,
+// the per-mask oracle otherwise.
+func testBatch(oracle Oracle, batch BatchOracle, visible []Mask) ([]bool, error) {
+	if batch != nil && len(visible) > 1 {
+		safes, err := batch(visible)
+		if err != nil {
+			return nil, err
+		}
+		if len(safes) != len(visible) {
+			return nil, fmt.Errorf("search: batch oracle answered %d of %d masks", len(safes), len(visible))
+		}
+		return safes, nil
+	}
+	safes := make([]bool, len(visible))
+	for i, v := range visible {
+		safe, err := oracle(v)
+		if err != nil {
+			return nil, err
+		}
+		safes[i] = safe
+	}
+	return safes, nil
+}
+
+// raiseMax raises the shared maximum to v if v is larger.
+func raiseMax(max *atomic.Int64, v int64) {
+	for {
+		cur := max.Load()
+		if v <= cur || max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // minCostStreaming scans the mask space in numeric order without the sorted
@@ -234,18 +331,24 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options, cancelled *atomic.Boo
 // the same (cost, lex) tie-break.
 func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.Bool) (Result, error) {
 	n := 1 << s.K()
+	sym, err := s.newSymFilter(opts.Symmetry)
+	if err != nil {
+		return Result{}, err
+	}
 	workers := opts.workers()
 	if workers > n {
 		workers = n
 	}
 	all := s.All()
-	unsafeFront := newFrontier(frontierCap)
-	safeFront := newFrontier(frontierCap)
+	unsafeFront := newFrontier(opts.frontierCap())
+	safeFront := newFrontier(opts.frontierCap())
 	var bound atomicFloat
 	bound.Store(math.Inf(1))
 	var checked, pruned atomic.Int64
+	var passes, maxBatch atomic.Int64
 	var firstErr atomic.Value
 	var failed atomic.Bool
+	batchCap := opts.batchCap()
 
 	type incumbent struct {
 		mask  Mask
@@ -261,11 +364,59 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 		go func(w int) {
 			defer wg.Done()
 			best := &bests[w]
+			accept := func(hidden Mask, cost float64) {
+				perm := s.perm(hidden)
+				if !best.found || cost < best.cost ||
+					(cost == best.cost && lexLess(perm, best.perm)) {
+					*best = incumbent{mask: hidden, perm: perm, cost: cost, found: true}
+					bound.StoreMin(cost)
+				}
+			}
+			hidBuf := make([]Mask, 0, batchCap)
+			costBuf := make([]float64, 0, batchCap)
+			visBuf := make([]Mask, 0, batchCap)
+			// Grow the batch geometrically so cheap early candidates set the
+			// shared cost bound before full-size batches start.
+			curCap := 1
+			flush := func() bool {
+				if len(visBuf) == 0 {
+					return true
+				}
+				safes, err := testBatch(oracle, opts.Batch, visBuf)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					failed.Store(true)
+					return false
+				}
+				checked.Add(int64(len(visBuf)))
+				passes.Add(1)
+				raiseMax(&maxBatch, int64(len(visBuf)))
+				for i, safe := range safes {
+					if safe {
+						safeFront.insertMaximal(visBuf[i])
+						accept(hidBuf[i], costBuf[i])
+					} else {
+						unsafeFront.insertMinimal(visBuf[i])
+					}
+				}
+				hidBuf, costBuf, visBuf = hidBuf[:0], costBuf[:0], visBuf[:0]
+				if curCap < batchCap {
+					curCap *= 2
+					if curCap > batchCap {
+						curCap = batchCap
+					}
+				}
+				return true
+			}
 			for m := w; m < n; m += workers {
 				if failed.Load() || cancelled.Load() {
 					return
 				}
 				hidden := Mask(m)
+				if sym != nil && !sym.canonical(hidden) {
+					pruned.Add(1)
+					continue
+				}
 				cost := s.CostOf(hidden)
 				// Strictly worse than the global bound can never win; equal
 				// cost stays in play for the lexicographic tie-break.
@@ -274,46 +425,36 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 					continue
 				}
 				visible := all &^ hidden
-				safe := false
 				switch {
 				case unsafeFront.dominatesSuper(visible):
 					pruned.Add(1)
 					continue
 				case safeFront.dominatesSub(visible):
 					pruned.Add(1)
-					safe = true
+					accept(hidden, cost)
 				default:
-					checked.Add(1)
-					ok, err := oracle(visible)
-					if err != nil {
-						firstErr.CompareAndSwap(nil, err)
-						failed.Store(true)
+					hidBuf = append(hidBuf, hidden)
+					costBuf = append(costBuf, cost)
+					visBuf = append(visBuf, visible)
+					if len(visBuf) >= curCap && !flush() {
 						return
 					}
-					safe = ok
-					if ok {
-						safeFront.insertMaximal(visible)
-					} else {
-						unsafeFront.insertMinimal(visible)
-					}
-				}
-				if !safe {
-					continue
-				}
-				perm := s.perm(hidden)
-				if !best.found || cost < best.cost ||
-					(cost == best.cost && lexLess(perm, best.perm)) {
-					*best = incumbent{mask: hidden, perm: perm, cost: cost, found: true}
-					bound.StoreMin(cost)
 				}
 			}
+			flush()
 		}(w)
 	}
 	wg.Wait()
 	if err, ok := firstErr.Load().(error); ok {
 		return Result{}, err
 	}
-	res := Result{Stats: Stats{Checked: int(checked.Load()), Pruned: int(pruned.Load())}}
+	res := Result{Stats: Stats{
+		Checked:         int(checked.Load()),
+		Pruned:          int(pruned.Load()),
+		OraclePasses:    int(passes.Load()),
+		BatchSize:       int(maxBatch.Load()),
+		FrontierDropped: unsafeFront.droppedCount() + safeFront.droppedCount(),
+	}}
 	for _, b := range bests {
 		if !b.found {
 			continue
@@ -345,6 +486,8 @@ func (s *Space) NaiveMinCost(oracle Oracle) (Result, error) {
 			continue
 		}
 		res.Stats.Checked++
+		res.Stats.OraclePasses++
+		res.Stats.BatchSize = 1
 		safe, err := oracle(all &^ hidden)
 		if err != nil {
 			return Result{}, err

@@ -12,6 +12,14 @@
 // (c) shard the remaining mask space over workers with shared best-cost
 // tracking, so multi-core hardware is actually used.
 //
+// Two optional reductions compose with the pruning without moving the
+// answer: Options.Batch tests frontier survivors many masks per oracle
+// pass (geometrically grown per-worker batches; see Stats.OraclePasses
+// and Stats.BatchSize), and Options.Symmetry restricts enumeration to
+// canonical name-prefix members of interchangeable equal-cost attribute
+// classes, counting the skipped orbit as pruned — both keep the
+// (cost, lex) optimum byte-identical.
+//
 // Oracles passed to the engine MUST be monotone: if a visible set is safe,
 // every subset of it is safe (equivalently, supersets of safe hidden sets
 // are safe). This is Proposition 1 for standalone module privacy and holds
@@ -188,6 +196,30 @@ func lexLess(x, y Mask) bool {
 // monotone (see the package comment) and safe for concurrent use.
 type Oracle func(visible Mask) (bool, error)
 
+// BatchOracle answers a whole slice of visible masks in one call, returning
+// one verdict per mask in order. Implementations share the per-candidate
+// work across the slice (the compiled oracle answers a chunk of masks in a
+// single pass over its row codes) and must satisfy the same monotonicity
+// and concurrency contract as Oracle; element i must equal what the
+// per-mask oracle would answer for visible[i].
+type BatchOracle func(visible []Mask) ([]bool, error)
+
+// Batched lifts a per-mask oracle to the BatchOracle interface by looping —
+// no batching win, but it lets call sites treat both uniformly.
+func Batched(oracle Oracle) BatchOracle {
+	return func(visible []Mask) ([]bool, error) {
+		out := make([]bool, len(visible))
+		for i, v := range visible {
+			safe, err := oracle(v)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = safe
+		}
+		return out, nil
+	}
+}
+
 // Memoize wraps an oracle with a concurrency-safe memo so repeated queries
 // for the same visible mask (e.g. across engine calls sharing one oracle)
 // are answered once. Errors are not memoized.
@@ -206,11 +238,70 @@ func Memoize(oracle Oracle) Oracle {
 	}
 }
 
+// DefaultFrontierCap is the Proposition 1 domination-store bound used when
+// Options.FrontierCap is zero.
+const DefaultFrontierCap = 256
+
+// DefaultBatchSize is the per-pass mask cap used when Options.Batch is set
+// but Options.BatchSize is zero.
+const DefaultBatchSize = 64
+
 // Options tunes an engine run.
 type Options struct {
 	// Parallelism is the worker-pool size. Zero or negative uses the package
 	// default: runtime.GOMAXPROCS(0), overridable via SetDefaultParallelism.
 	Parallelism int
+
+	// Batch, when non-nil, lets MinCost submit sibling candidates to the
+	// oracle in slices of up to BatchSize masks per call instead of one at a
+	// time, so a batching oracle (oracle.Compiled.IsSafeBatch) can amortize
+	// its per-candidate pass. Batch must agree element-wise with the
+	// per-mask oracle, which remains required (levels enumeration and
+	// single-candidate flushes still use it).
+	Batch BatchOracle
+
+	// BatchSize caps the masks per Batch call (0 = DefaultBatchSize).
+	// Ignored when Batch is nil.
+	BatchSize int
+
+	// FrontierCap bounds each Proposition 1 domination store
+	// (0 = DefaultFrontierCap). Beyond the cap extra frontier masks are
+	// dropped — pruning weakens, correctness is unaffected — and the drops
+	// are counted in Stats.FrontierDropped.
+	FrontierCap int
+
+	// Symmetry lists equivalence classes of attributes (indices into
+	// Attrs()) that are interchangeable under the oracle AND carry equal
+	// hiding costs: swapping the visibility of two class members never
+	// changes the oracle's verdict or a candidate's cost. MinCost then
+	// enumerates only canonical masks — those hiding, within each class, a
+	// prefix of the class's name-sorted members — and counts the skipped
+	// masks as pruned. The lexicographically smallest minimum-cost hidden
+	// set is always canonical (an exchange swapping a hidden member for an
+	// unhidden name-smaller one preserves cost and safety and lowers the
+	// lex rank), so the result is byte-identical to the unrestricted
+	// search. Classes must be disjoint; classes with fewer than two members
+	// are ignored.
+	Symmetry [][]int
+}
+
+func (o Options) frontierCap() int {
+	if o.FrontierCap > 0 {
+		return o.FrontierCap
+	}
+	return DefaultFrontierCap
+}
+
+// batchCap returns the candidate-buffer size for one worker: 1 without a
+// batch oracle (per-mask calls, today's behavior), BatchSize with one.
+func (o Options) batchCap() int {
+	if o.Batch == nil {
+		return 1
+	}
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return DefaultBatchSize
 }
 
 var defaultParallelism atomic.Int64
@@ -242,19 +333,39 @@ type Stats struct {
 	// requested by the engine; a memoized oracle may answer some from cache).
 	Checked int
 	// Pruned counts candidate masks eliminated WITHOUT a safety test: by the
-	// best-cost bound, by Proposition 1 domination, or by early exit once the
-	// optimum is pinned.
+	// best-cost bound, by Proposition 1 domination, by symmetry breaking, or
+	// by early exit once the optimum is pinned.
 	Pruned int
+	// OraclePasses counts oracle invocations: a batched call answering many
+	// masks is ONE pass, so Checked/OraclePasses is the mean batch size.
+	OraclePasses int
+	// BatchSize is the largest number of masks submitted in a single pass
+	// (1 when no batch oracle was configured).
+	BatchSize int
+	// FrontierDropped counts frontier masks discarded because a Proposition 1
+	// domination store was at FrontierCap — nonzero values mean domination
+	// pruning silently degraded and a larger cap may pay off.
+	FrontierDropped int
 }
 
 // frontier is a concurrency-safe antichain of masks used for Proposition 1
 // domination: the unsafe frontier stores minimal unsafe visible masks (any
 // superset is unsafe), the safe frontier stores maximal safe visible masks
-// (any subset is safe). Bounded so membership checks stay cheap.
+// (any subset is safe). Bounded so membership checks stay cheap; masks that
+// would grow a full store are dropped and counted.
 type frontier struct {
-	mu    sync.RWMutex
-	masks []Mask
-	cap   int
+	mu      sync.RWMutex
+	masks   []Mask
+	cap     int
+	dropped int
+}
+
+// droppedCount returns how many masks the store refused because it was at
+// capacity.
+func (f *frontier) droppedCount() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.dropped
 }
 
 func newFrontier(capacity int) *frontier { return &frontier{cap: capacity} }
@@ -301,6 +412,8 @@ func (f *frontier) insertMinimal(u Mask) {
 	f.masks = kept
 	if len(f.masks) < f.cap {
 		f.masks = append(f.masks, u)
+	} else {
+		f.dropped++
 	}
 }
 
@@ -322,5 +435,7 @@ func (f *frontier) insertMaximal(u Mask) {
 	f.masks = kept
 	if len(f.masks) < f.cap {
 		f.masks = append(f.masks, u)
+	} else {
+		f.dropped++
 	}
 }

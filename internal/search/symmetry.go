@@ -1,0 +1,85 @@
+package search
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// symFilter implements the Options.Symmetry canonical-prefix restriction.
+// Each class stores its member bits plus, for every count h, the mask of
+// its h name-smallest members; a hidden mask is canonical iff its
+// intersection with every class is exactly such a prefix.
+//
+// Soundness: class members are oracle-interchangeable and equal-cost, so
+// swapping a hidden member cj for an unhidden name-smaller member ci of the
+// same class preserves cost and safety and strictly lowers the hidden
+// set's lexicographic rank (the sorted name sequences first differ at ci,
+// which only the swapped set contains). Repeating the exchange shows the
+// lexicographically smallest minimum-cost hidden set hides a name-prefix
+// of every class — i.e. the engine's canonical winner under the (cost,
+// lex) order is itself canonical, so restricting enumeration to canonical
+// masks returns a byte-identical Result.
+type symFilter struct {
+	classes  []Mask   // per class: all member bits
+	prefixes [][]Mask // per class: prefixes[h] = the h name-smallest members
+}
+
+// newSymFilter validates and compiles Options.Symmetry: indices must lie in
+// the universe, appear in at most one class, and share one hiding cost per
+// class. Classes with fewer than two members are ignored; nil is returned
+// when nothing remains.
+func (s *Space) newSymFilter(classes [][]int) (*symFilter, error) {
+	if len(classes) == 0 {
+		return nil, nil
+	}
+	k := s.K()
+	var used Mask
+	f := &symFilter{}
+	for _, cl := range classes {
+		if len(cl) < 2 {
+			continue
+		}
+		members := append([]int(nil), cl...)
+		for _, i := range members {
+			if i < 0 || i >= k {
+				return nil, fmt.Errorf("search: symmetry class index %d outside universe [0,%d)", i, k)
+			}
+			bit := Mask(1) << i
+			if used&bit != 0 {
+				return nil, fmt.Errorf("search: attribute %d (%s) appears in more than one symmetry class", i, s.attrs[i])
+			}
+			used |= bit
+			if s.costs[i] != s.costs[members[0]] {
+				return nil, fmt.Errorf("search: symmetry class mixes costs (%s=%g, %s=%g)",
+					s.attrs[members[0]], s.costs[members[0]], s.attrs[i], s.costs[i])
+			}
+		}
+		// Name order is permuted-bit order: rank ascending = name ascending.
+		sort.Slice(members, func(a, b int) bool { return s.permBit[members[a]] < s.permBit[members[b]] })
+		var cm Mask
+		prefixes := make([]Mask, len(members)+1)
+		for h, i := range members {
+			cm |= 1 << i
+			prefixes[h+1] = prefixes[h] | 1<<i
+		}
+		f.classes = append(f.classes, cm)
+		f.prefixes = append(f.prefixes, prefixes)
+	}
+	if len(f.classes) == 0 {
+		return nil, nil
+	}
+	return f, nil
+}
+
+// canonical reports whether the hidden mask hides a name-prefix of every
+// symmetry class.
+func (f *symFilter) canonical(hidden Mask) bool {
+	for ci, cm := range f.classes {
+		h := hidden & cm
+		if h != f.prefixes[ci][bits.OnesCount32(uint32(h))] {
+			return false
+		}
+	}
+	return true
+}

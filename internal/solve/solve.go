@@ -50,6 +50,16 @@ type Options struct {
 	MaxAttrs int
 	// Workers is the engine solver's worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// FrontierCap bounds the engine solver's domination-frontier antichains
+	// (0 = the search package default). Larger caps prune more but cost more
+	// per candidate; overflow is reported in Counters.FrontierDropped.
+	FrontierCap int
+	// DisableCollapse turns off the engine solver's attribute equivalence-
+	// class collapsing (requirement-interchangeable, equal-cost attributes
+	// explored only in canonical combinations). On by default because it
+	// preserves the exact (cost, lex) optimum; the differential harness flips
+	// this to cross-check.
+	DisableCollapse bool
 	// Seed seeds the randomized cardinality LP rounding (default 1).
 	Seed int64
 	// Trials repeats the randomized rounding, keeping the cheapest feasible
@@ -99,8 +109,18 @@ type Counters struct {
 	// Checked and Pruned are the engine solver's safety-test/pruning split
 	// (Checked+Pruned = candidates in scope).
 	Checked int
-	// Pruned counts engine candidates eliminated without a safety test.
+	// Pruned counts engine candidates eliminated without a safety test
+	// (including symmetry-collapsed candidates).
 	Pruned int
+	// OraclePasses counts engine oracle invocations; with a batch oracle one
+	// pass answers many candidates, so OraclePasses <= Checked.
+	OraclePasses int
+	// BatchSize is the largest batch the engine answered in one oracle pass
+	// (1 without batching).
+	BatchSize int
+	// FrontierDropped counts masks the engine's domination frontiers evicted
+	// at their cap — lost pruning power, never lost correctness.
+	FrontierDropped int
 }
 
 // Result is a solver outcome.

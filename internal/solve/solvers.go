@@ -3,7 +3,9 @@ package solve
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
+	"strconv"
 
 	"secureview/internal/relation"
 	"secureview/internal/search"
@@ -141,8 +143,18 @@ func (engineSolver) Solve(ctx context.Context, p *secureview.Problem, opts Optio
 		hidden := sp.NameSet(sp.All() &^ visible)
 		return p.Feasible(secureview.Solution{Hidden: hidden, Privatized: none}, opts.Variant), nil
 	})
-	res, err := sp.MinCostCtx(ctx, oracle, search.Options{Parallelism: opts.Workers})
-	c := Counters{Checked: res.Stats.Checked, Pruned: res.Stats.Pruned}
+	sOpts := search.Options{Parallelism: opts.Workers, FrontierCap: opts.FrontierCap}
+	if !opts.DisableCollapse {
+		sOpts.Symmetry = requirementClasses(p, opts.Variant, attrs)
+	}
+	res, err := sp.MinCostCtx(ctx, oracle, sOpts)
+	c := Counters{
+		Checked:         res.Stats.Checked,
+		Pruned:          res.Stats.Pruned,
+		OraclePasses:    res.Stats.OraclePasses,
+		BatchSize:       res.Stats.BatchSize,
+		FrontierDropped: res.Stats.FrontierDropped,
+	}
 	if err != nil {
 		return Result{Solver: "engine", Variant: opts.Variant, Counters: c}, err
 	}
@@ -152,6 +164,80 @@ func (engineSolver) Solve(ctx context.Context, p *secureview.Problem, opts Optio
 	}
 	return finish("engine", p, opts.Variant, p.Complete(sp.NameSet(res.Hidden)), true,
 		Bound{Factor: 1, Theorem: "exhaustive over useful attributes (Proposition 1 pruning)"}, c), nil
+}
+
+// requirementClasses groups the search universe into requirement-level
+// equivalence classes: attributes whose exchange fixes every feasibility
+// check AND the cost function, so the engine may restrict enumeration to
+// canonical (name-prefix) combinations without moving the (cost, lex)
+// optimum. Two attributes are interchangeable when they have equal hiding
+// cost and, per module: identical input/output membership (cardinality —
+// feasibility only counts hidden inputs and outputs per module) or
+// identical membership in every option's attribute set (set — swapping then
+// maps each option to itself). Public-module adjacency joins the signature
+// so a hidden attribute forcing privatization never pairs with one that
+// does not. Returned classes index attrs; singletons are dropped.
+func requirementClasses(p *secureview.Problem, v secureview.Variant, attrs []string) [][]int {
+	type set = relation.NameSet
+	var inSets, outSets []set // private modules, in order
+	var optSets []set         // set variant: every option's attrs, in order
+	var pubSets []set         // public modules' full interface
+	for _, m := range p.Modules {
+		if m.Public {
+			pubSets = append(pubSets,
+				relation.NewNameSet(m.Inputs...).Union(relation.NewNameSet(m.Outputs...)))
+			continue
+		}
+		switch v {
+		case secureview.Cardinality:
+			inSets = append(inSets, relation.NewNameSet(m.Inputs...))
+			outSets = append(outSets, relation.NewNameSet(m.Outputs...))
+		case secureview.Set:
+			for _, r := range m.SetList {
+				optSets = append(optSets, r.Attrs())
+			}
+		}
+	}
+	sig := func(a string) string {
+		var b []byte
+		b = strconv.AppendUint(b, math.Float64bits(p.Costs.Of(a)), 16)
+		mark := func(sets []set) {
+			for _, s := range sets {
+				if s.Has(a) {
+					b = append(b, '1')
+				} else {
+					b = append(b, '0')
+				}
+			}
+		}
+		mark(inSets)
+		b = append(b, '|')
+		mark(outSets)
+		b = append(b, '|')
+		mark(optSets)
+		b = append(b, '|')
+		mark(pubSets)
+		return string(b)
+	}
+	order := make(map[string]int)
+	var classes [][]int
+	for i, a := range attrs {
+		k := sig(a)
+		ci, ok := order[k]
+		if !ok {
+			ci = len(classes)
+			order[k] = ci
+			classes = append(classes, nil)
+		}
+		classes[ci] = append(classes[ci], i)
+	}
+	out := classes[:0]
+	for _, cl := range classes {
+		if len(cl) >= 2 {
+			out = append(out, cl)
+		}
+	}
+	return out
 }
 
 // greedySolver is the per-module cheapest-option union.
