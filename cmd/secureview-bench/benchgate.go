@@ -34,9 +34,12 @@ const gateGraceNs = 500_000
 const gateReps = 3
 
 // gatedRow reports whether a benchmark row guards the optimized hot paths:
-// the compiled standalone search and the engine solver scenario rows.
+// the compiled standalone search, the engine solver scenario rows, and the
+// warm-start edit loop (a regression there silently degrades every chained
+// re-solve to near-cold latency).
 func gatedRow(name string) bool {
 	return name == "standalone-search/engine-compiled" ||
+		name == "edit-loop/warm" ||
 		(strings.HasPrefix(name, "scenario/") && strings.HasSuffix(name, "/engine"))
 }
 

@@ -145,6 +145,11 @@ func collectBenchResults(quick bool, repsOverride int) ([]benchResult, error) {
 			})
 		}
 	}
+	edits, err := editLoopResults(quick, repsOverride)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, edits...)
 	scen, err := scenarioResults(quick, repsOverride)
 	if err != nil {
 		return nil, err

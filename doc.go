@@ -17,7 +17,11 @@
 //	                     a few array/bitset ops — compile once per search,
 //	                     share the read-only result across the worker pool
 //	internal/search      bitset subset-search engine: Proposition 1 pruning,
-//	                     cost-ordered exploration, worker pool, memoized oracles
+//	                     cost-ordered exploration, worker pool, memoized
+//	                     oracles; warm starts — a finished run exports its
+//	                     domination frontiers, verdict memo and incumbent as
+//	                     a Frontier, re-imported via Options.Resume (sound
+//	                     across cost-only edits: verdicts are cost-free)
 //	internal/worlds      possible-world semantics, FLIP, sharded parallel
 //	                     enumeration with bitset OUT sets
 //	internal/secureview  the Secure-View optimization (sections 4–5);
@@ -28,9 +32,11 @@
 //	                     approx-labelcover, portfolio) with declared
 //	                     Capabilities, uniform Options and bound-certified
 //	                     Results, fingerprint-keyed Session caches (derived
-//	                     problems, compiled oracle tables; length-prefixed
-//	                     collision-proof hashing, size-accounted LRU
-//	                     eviction) shared across goroutines, SolveBatch
+//	                     problems, compiled oracle tables, warm-start
+//	                     frontiers; length-prefixed collision-proof hashing,
+//	                     size-accounted LRU eviction, delta derivation
+//	                     re-costing cached problems on cost-only re-derives)
+//	                     shared across goroutines, SolveBatch
 //	                     worker-pool front-end with per-job deadlines; every
 //	                     solver observes ctx within one pruning epoch; the
 //	                     portfolio meta-solver races all applicable solvers
@@ -40,7 +46,8 @@
 //	                     deadlines mapped to solve.Options.Timeout (206
 //	                     partial incumbents on expiry), batch endpoint over
 //	                     SolveBatch, spec- and generated-(class, seed)
-//	                     request forms, byte-capped shared Session
+//	                     request forms, byte-capped shared Session,
+//	                     fingerprint/base warm-start chaining for edit loops
 //	internal/lp          two-phase simplex (substrate)
 //	internal/sat         CNF + DPLL (substrate for Theorem 2)
 //	internal/combopt     set/vertex/label cover: weighted instances,

@@ -20,6 +20,11 @@ type Result struct {
 	Found bool
 	// Stats reports safety tests performed vs candidates pruned.
 	Stats Stats
+	// Frontier is the run's exported warm-start state (domination stores +
+	// incumbent), reusable via Options.Resume for later searches over the
+	// same universe — in particular after cost-only edits. Nil when the run
+	// was cancelled or failed.
+	Frontier *Frontier
 }
 
 // sortedMax is the largest universe for which MinCost materializes the full
@@ -64,7 +69,7 @@ func (s *Space) MinCostCtx(ctx context.Context, oracle Oracle, opts Options) (Re
 	}
 	var res Result
 	var err error
-	if s.K() <= sortedMax {
+	if s.K() <= sortedMax && !s.warmStreaming(opts.Resume) {
 		res, err = s.minCostSorted(oracle, opts, &cancelled)
 	} else {
 		res, err = s.minCostStreaming(oracle, opts, &cancelled)
@@ -87,28 +92,43 @@ func orderedCostBits(f float64) uint64 {
 	return b | 1<<63
 }
 
+// lexMasks returns every mask of the universe in ascending lexLess order.
+// The order is cost-independent, so it is computed once per WithCosts family
+// of Spaces and cached; cost-only re-solves skip the permutation and rank
+// scatter entirely.
+func (s *Space) lexMasks() []Mask {
+	s.scat.once.Do(func() {
+		n := 1 << s.K()
+		perms := make([]Mask, n)
+		out := make([]Mask, n)
+		for m := 1; m < n; m++ {
+			low := m & (m - 1)
+			perms[m] = perms[low] | s.permBit[bits.TrailingZeros32(uint32(m))]
+		}
+		for m := 0; m < n; m++ {
+			out[lexRank(perms[m], s.K())] = Mask(m)
+		}
+		s.scat.masks = out
+	})
+	return s.scat.masks
+}
+
 // sortCandidates produces every hidden mask in ascending (cost, lexLess)
 // order without a comparison sort: lexRank is a bijection onto [0, 2^k), so
-// scattering masks to their rank position realizes the lex order for free,
-// and a stable LSD radix sort on the order-transformed cost bits (skipping
-// the 16-bit chunks that never vary) lifts it to the full order. costs[i]
-// returns the cost of sorted candidate i.
+// scattering masks to their rank position realizes the lex order for free
+// (cached across cost edits, see lexMasks), and a stable LSD radix sort on
+// the order-transformed cost bits (skipping the 16-bit chunks that never
+// vary) lifts it to the full order. costs[i] returns the cost of sorted
+// candidate i.
 func (s *Space) sortCandidates() (masks []Mask, cost func(int) float64) {
 	n := 1 << s.K()
-	perms := make([]Mask, n)
-	sums := make([]float64, n)
+	sums := s.costSums()
+	lex := s.lexMasks()
 	keys := make([]uint64, n)
 	masks = make([]Mask, n)
-	for m := 1; m < n; m++ {
-		low := m & (m - 1)
-		i := bits.TrailingZeros32(uint32(m))
-		perms[m] = perms[low] | s.permBit[i]
-		sums[m] = sums[low] + s.costs[i]
-	}
-	for m := 0; m < n; m++ {
-		r := lexRank(perms[m], s.K())
-		keys[r] = orderedCostBits(sums[m])
-		masks[r] = Mask(m)
+	copy(masks, lex)
+	for i, m := range lex {
+		keys[i] = orderedCostBits(sums[m])
 	}
 	// Which 16-bit chunks of the cost keys actually differ?
 	orAll, andAll := uint64(0), ^uint64(0)
@@ -186,19 +206,24 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options, cancelled *atomic.Boo
 	all := s.All()
 	unsafeFront := newFrontier(opts.frontierCap())
 	safeFront := newFrontier(opts.frontierCap())
+	resumed, nSafe, nUnsafe := s.seedResume(opts.Resume, safeFront, unsafeFront)
+	memo := s.resumeMemo(opts.Resume)
 	var bestIdx atomic.Int64
 	bestIdx.Store(int64(n)) // sentinel: nothing found
 	var checked, pruned atomic.Int64
-	var passes, maxBatch atomic.Int64
+	var passes, maxBatch, memoHits atomic.Int64
 	var firstErr atomic.Value
 	var failed atomic.Bool
 	batchCap := opts.batchCap()
+	freshVerd := make([][]verdict, workers)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var fresh []verdict
+			defer func() { freshVerd[w] = fresh }()
 			idxBuf := make([]int, 0, batchCap)
 			visBuf := make([]Mask, 0, batchCap)
 			// The batch grows geometrically from 1 to batchCap: the optimum
@@ -222,6 +247,7 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options, cancelled *atomic.Boo
 				passes.Add(1)
 				raiseMax(&maxBatch, int64(len(visBuf)))
 				for i, safe := range safes {
+					fresh = append(fresh, verdict{visBuf[i], safe})
 					if safe {
 						safeFront.insertMaximal(visBuf[i])
 						lowerBest(&bestIdx, int64(idxBuf[i]))
@@ -261,6 +287,20 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options, cancelled *atomic.Boo
 					lowerBest(&bestIdx, int64(idx))
 					continue
 				}
+				if safe, ok := memo[visible]; ok {
+					// A prior run already asked the oracle about this view;
+					// replay the verdict and re-grow the domination stores
+					// (the mask may have been dropped from a capped store).
+					pruned.Add(1)
+					memoHits.Add(1)
+					if safe {
+						safeFront.insertMaximal(visible)
+						lowerBest(&bestIdx, int64(idx))
+					} else {
+						unsafeFront.insertMinimal(visible)
+					}
+					continue
+				}
 				idxBuf = append(idxBuf, idx)
 				visBuf = append(visBuf, visible)
 				if len(visBuf) >= curCap && !flush() {
@@ -280,11 +320,23 @@ func (s *Space) minCostSorted(oracle Oracle, opts Options, cancelled *atomic.Boo
 		OraclePasses:    int(passes.Load()),
 		BatchSize:       int(maxBatch.Load()),
 		FrontierDropped: unsafeFront.droppedCount() + safeFront.droppedCount(),
+		Resumed:         resumed,
+		ResumedSafe:     nSafe,
+		ResumedUnsafe:   nUnsafe,
+		MemoHits:        int(memoHits.Load()),
 	}}
 	if idx := bestIdx.Load(); idx < int64(n) {
 		res.Hidden = masks[idx]
 		res.Cost = costOf(int(idx))
 		res.Found = true
+	}
+	res.Frontier = &Frontier{
+		attrs:     s.attrs,
+		safe:      safeFront.snapshot(),
+		unsafe:    unsafeFront.snapshot(),
+		memo:      mergeMemo(memo, freshVerd),
+		incumbent: res.Hidden,
+		found:     res.Found,
 	}
 	return res, nil
 }
@@ -324,6 +376,19 @@ func raiseMax(max *atomic.Int64, v int64) {
 	}
 }
 
+// costSums builds the subset-sum table sums[m] = total cost of mask m by
+// one-add-per-mask dynamic programming — much cheaper than a per-mask bit
+// loop, at the price of 8 bytes per mask (only viable at k ≤ sortedMax).
+func (s *Space) costSums() []float64 {
+	n := 1 << s.K()
+	sums := make([]float64, n)
+	for m := 1; m < n; m++ {
+		low := m & (m - 1)
+		sums[m] = sums[low] + s.costs[bits.TrailingZeros32(uint32(m))]
+	}
+	return sums
+}
+
 // minCostStreaming scans the mask space in numeric order without the sorted
 // candidate list (used above sortedMax, where the list would not fit in
 // memory). Pruning uses a shared best-cost bound plus the domination stores;
@@ -342,13 +407,31 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 	all := s.All()
 	unsafeFront := newFrontier(opts.frontierCap())
 	safeFront := newFrontier(opts.frontierCap())
+	resumed, nSafe, nUnsafe := s.seedResume(opts.Resume, safeFront, unsafeFront)
+	memo := s.resumeMemo(opts.Resume)
 	var bound atomicFloat
 	bound.Store(math.Inf(1))
+	if resumed {
+		// The complement of any seeded safe visible mask is a feasible
+		// hidden set under the current costs; its cost bounds the optimum
+		// from above, so candidates strictly above it prune immediately.
+		// Equal-cost candidates stay in play, keeping the lex tie-break —
+		// and thus the result — byte-identical to a cold run.
+		bound.Store(s.seedBound(opts.Resume))
+	}
 	var checked, pruned atomic.Int64
-	var passes, maxBatch atomic.Int64
+	var passes, maxBatch, memoHits atomic.Int64
 	var firstErr atomic.Value
 	var failed atomic.Bool
 	batchCap := opts.batchCap()
+	freshVerd := make([][]verdict, workers)
+	// Below sortedMax (the warm-resume dispatch) a subset-sum table turns
+	// the per-mask cost into one array load; above it the table would not
+	// fit and the bit-loop CostOf stays.
+	var sums []float64
+	if s.K() <= sortedMax {
+		sums = s.costSums()
+	}
 
 	type incumbent struct {
 		mask  Mask
@@ -363,6 +446,8 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var fresh []verdict
+			defer func() { freshVerd[w] = fresh }()
 			best := &bests[w]
 			accept := func(hidden Mask, cost float64) {
 				perm := s.perm(hidden)
@@ -392,6 +477,7 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 				passes.Add(1)
 				raiseMax(&maxBatch, int64(len(visBuf)))
 				for i, safe := range safes {
+					fresh = append(fresh, verdict{visBuf[i], safe})
 					if safe {
 						safeFront.insertMaximal(visBuf[i])
 						accept(hidBuf[i], costBuf[i])
@@ -408,36 +494,81 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 				}
 				return true
 			}
-			for m := w; m < n; m += workers {
+			// Masks are claimed in contiguous chunks (not a per-mask stride)
+			// so the shared atomics — the cancellation flags, the cost bound
+			// and the pruned counter — are touched once per chunk instead of
+			// once per mask. A stale (higher) bound read is sound: any value
+			// the bound ever held is the cost of a known-feasible solution,
+			// so masks strictly above it can never be optimal.
+			const chunk = 4096
+			prunedLocal, memoLocal := int64(0), int64(0)
+			defer func() {
+				pruned.Add(prunedLocal)
+				memoHits.Add(memoLocal)
+			}()
+			for base := w * chunk; base < n; base += workers * chunk {
 				if failed.Load() || cancelled.Load() {
 					return
 				}
-				hidden := Mask(m)
-				if sym != nil && !sym.canonical(hidden) {
-					pruned.Add(1)
-					continue
+				b := bound.Load()
+				hi := base + chunk
+				if hi > n {
+					hi = n
 				}
-				cost := s.CostOf(hidden)
-				// Strictly worse than the global bound can never win; equal
-				// cost stays in play for the lexicographic tie-break.
-				if cost > bound.Load() {
-					pruned.Add(1)
-					continue
-				}
-				visible := all &^ hidden
-				switch {
-				case unsafeFront.dominatesSuper(visible):
-					pruned.Add(1)
-					continue
-				case safeFront.dominatesSub(visible):
-					pruned.Add(1)
-					accept(hidden, cost)
-				default:
-					hidBuf = append(hidBuf, hidden)
-					costBuf = append(costBuf, cost)
-					visBuf = append(visBuf, visible)
-					if len(visBuf) >= curCap && !flush() {
-						return
+				for m := base; m < hi; m++ {
+					hidden := Mask(m)
+					// Strictly worse than the bound can never win; equal cost
+					// stays in play for the lexicographic tie-break. The bound
+					// check runs before the symmetry filter because it is
+					// cheaper and, on warm re-solves with a seeded bound,
+					// prunes almost every mask.
+					var cost float64
+					if sums != nil {
+						cost = sums[m]
+					} else {
+						cost = s.CostOf(hidden)
+					}
+					if cost > b {
+						prunedLocal++
+						continue
+					}
+					if sym != nil && !sym.canonical(hidden) {
+						prunedLocal++
+						continue
+					}
+					visible := all &^ hidden
+					switch {
+					case unsafeFront.dominatesSuper(visible):
+						prunedLocal++
+						continue
+					case safeFront.dominatesSub(visible):
+						prunedLocal++
+						accept(hidden, cost)
+						b = bound.Load()
+					default:
+						if safe, ok := memo[visible]; ok {
+							// Replay a memoized verdict; re-grow the stores in
+							// case a capped store dropped this mask before.
+							prunedLocal++
+							memoLocal++
+							if safe {
+								safeFront.insertMaximal(visible)
+								accept(hidden, cost)
+								b = bound.Load()
+							} else {
+								unsafeFront.insertMinimal(visible)
+							}
+							continue
+						}
+						hidBuf = append(hidBuf, hidden)
+						costBuf = append(costBuf, cost)
+						visBuf = append(visBuf, visible)
+						if len(visBuf) >= curCap {
+							if !flush() {
+								return
+							}
+							b = bound.Load()
+						}
 					}
 				}
 			}
@@ -454,6 +585,10 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 		OraclePasses:    int(passes.Load()),
 		BatchSize:       int(maxBatch.Load()),
 		FrontierDropped: unsafeFront.droppedCount() + safeFront.droppedCount(),
+		Resumed:         resumed,
+		ResumedSafe:     nSafe,
+		ResumedUnsafe:   nUnsafe,
+		MemoHits:        int(memoHits.Load()),
 	}}
 	for _, b := range bests {
 		if !b.found {
@@ -465,6 +600,14 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 			res.Cost = b.cost
 			res.Found = true
 		}
+	}
+	res.Frontier = &Frontier{
+		attrs:     s.attrs,
+		safe:      safeFront.snapshot(),
+		unsafe:    unsafeFront.snapshot(),
+		memo:      mergeMemo(memo, freshVerd),
+		incumbent: res.Hidden,
+		found:     res.Found,
 	}
 	return res, nil
 }

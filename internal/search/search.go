@@ -53,6 +53,18 @@ type Space struct {
 	// permBit[i] is the bit attribute i occupies after sorting attributes by
 	// name; permuted masks make the lexicographic tie-break O(1).
 	permBit []Mask
+	// scat lazily holds the cost-independent lex-order candidate scatter,
+	// shared with Spaces derived via WithCosts so cost-only edits skip
+	// rebuilding it.
+	scat *lexScatter
+}
+
+// lexScatter caches every mask of a k-bit universe in ascending lexLess
+// order. The order depends only on the attribute names, never on costs, so
+// one scatter serves a whole WithCosts family of Spaces.
+type lexScatter struct {
+	once  sync.Once
+	masks []Mask
 }
 
 // NewSpace builds a Space over the attributes with costs from cost (nil means
@@ -88,7 +100,29 @@ func NewSpace(attrs []string, cost func(string) float64) (*Space, error) {
 	for rank, i := range order {
 		s.permBit[i] = 1 << rank
 	}
+	s.scat = &lexScatter{}
 	return s, nil
+}
+
+// WithCosts returns a Space over the same attribute universe with re-read
+// costs, sharing the cost-independent scaffolding (name permutation and the
+// lex-order candidate scatter) with the receiver. It is the cheap way to
+// re-solve after a cost-only edit: the sorted search path then only has to
+// re-key and radix-sort, not recompute the lex order. nil means all-zero
+// costs, as in NewSpace.
+func (s *Space) WithCosts(cost func(string) float64) *Space {
+	c := &Space{
+		attrs:   s.attrs,
+		costs:   make([]float64, len(s.attrs)),
+		permBit: s.permBit,
+		scat:    s.scat,
+	}
+	if cost != nil {
+		for i, a := range s.attrs {
+			c.costs[i] = cost(a)
+		}
+	}
+	return c
 }
 
 // K returns the universe size.
@@ -283,6 +317,19 @@ type Options struct {
 	// search. Classes must be disjoint; classes with fewer than two members
 	// are ignored.
 	Symmetry [][]int
+
+	// Resume, when non-nil, pre-seeds the search from a Frontier exported
+	// by an earlier run over the same attribute universe AND the same
+	// oracle semantics: the Proposition 1 domination stores, the full
+	// verdict memo (oracle answers replayed without an oracle call), and —
+	// because a known-safe incumbent bounds the optimum — the best-cost
+	// bound of the streaming scan, which a resumed search prefers even
+	// below sortedMax. Safety verdicts are cost-independent, so a Frontier
+	// stays valid under any cost re-weighting; a Frontier whose universe
+	// does not match the Space exactly is ignored and the search runs
+	// cold. The (cost, lex) optimum is byte-identical with or without
+	// Resume. Stats.Resumed reports whether the frontier was accepted.
+	Resume *Frontier
 }
 
 func (o Options) frontierCap() int {
@@ -343,9 +390,21 @@ type Stats struct {
 	// (1 when no batch oracle was configured).
 	BatchSize int
 	// FrontierDropped counts frontier masks discarded because a Proposition 1
-	// domination store was at FrontierCap — nonzero values mean domination
-	// pruning silently degraded and a larger cap may pay off.
+	// domination store was at FrontierCap. Dropping is purely a performance
+	// signal, never a correctness one: every candidate a dropped mask would
+	// have decided for free is instead tested against the oracle, so the
+	// optimum is unchanged — a persistently nonzero count just means a
+	// larger cap may prune more.
 	FrontierDropped int
+	// Resumed reports whether Options.Resume was accepted (universe
+	// matched); ResumedSafe / ResumedUnsafe count the masks imported into
+	// the safe and unsafe domination stores from the supplied Frontier, and
+	// MemoHits counts candidates decided by the frontier's verdict memo
+	// instead of an oracle call (they are also counted in Pruned).
+	Resumed       bool
+	ResumedSafe   int
+	ResumedUnsafe int
+	MemoHits      int
 }
 
 // frontier is a concurrency-safe antichain of masks used for Proposition 1

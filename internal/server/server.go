@@ -22,10 +22,19 @@
 // HTTP analog of cmd/secureview's exit code 3 — and one without returns
 // 504.
 //
-// The shared Session is size-accounted: derived problems and compiled
-// oracle tables are evicted least-recently-used beyond Config.SessionBytes,
-// so serving an unbounded stream of distinct workflows holds steady-state
-// memory (watch /v1/stats to size the budget).
+// Warm starts: every solve response carries the problem's structure
+// fingerprint (costs excluded). A client editing only costs echoes it back
+// as the next request's "base"; the engine solver then resumes from the
+// previous run's domination frontiers and verdict memo instead of
+// re-testing the whole candidate space, which turns an edit loop's
+// tens-of-milliseconds solves into low-millisecond ones. An unknown or
+// evicted base silently falls back to a cold solve (the response's "warm"
+// field reports which path ran), so chaining is always safe.
+//
+// The shared Session is size-accounted: derived problems, compiled oracle
+// tables and warm-start frontiers are evicted least-recently-used beyond
+// Config.SessionBytes, so serving an unbounded stream of distinct workflows
+// holds steady-state memory (watch /v1/stats to size the budget).
 package server
 
 import (
@@ -35,6 +44,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -178,6 +188,25 @@ func (s *Server) admit(n int) func() {
 	}
 }
 
+// retryAfter derives the Retry-After hint for a 429: the rejected request's
+// weight scaled by how saturated the admission gate is (in-flight weight
+// over capacity), so a single solve against a briefly-full server retries in
+// a second while a full-width batch against a loaded one backs off longer.
+// Clamped to [1, 30] seconds — the ceiling keeps a pathological gauge
+// reading from parking clients for minutes.
+func (s *Server) retryAfter(need int) string {
+	capacity := int64(s.cfg.MaxInFlight)
+	inFlight := s.inFlight.Load()
+	secs := (int64(need)*inFlight + capacity - 1) / capacity
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // timeout clamps the client's requested deadline.
 func (s *Server) timeout(ms int64) time.Duration {
 	if ms <= 0 {
@@ -197,7 +226,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	release := s.admit(1)
 	if release == nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(1))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("server saturated (%d job slots in use)", s.cfg.MaxInFlight))
 		return
@@ -238,7 +267,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	release := s.admit(weight)
 	if release == nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(weight))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("server saturated (batch needs %d of %d job slots)", weight, s.cfg.MaxInFlight))
 		return
@@ -287,6 +316,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := BatchResponse{Results: make([]BatchResult, len(req.Jobs))}
 	jobs := make([]solve.Job, 0, len(req.Jobs))
 	jobIdx := make([]int, 0, len(req.Jobs))
+	jobFps := make([]string, 0, len(req.Jobs))
 	for i, rj := range resolved {
 		if rj.errMsg != "" {
 			out.Results[i] = BatchResult{Code: rj.code, Error: rj.errMsg}
@@ -295,6 +325,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		jr := &req.Jobs[i]
 		opts := jr.solveOptions(rj.v)
 		opts.Timeout = s.timeout(jr.TimeoutMs)
+		if jr.Base != "" {
+			opts.Resume = s.sess.Warm(jr.Base)
+		}
 		jobs = append(jobs, solve.Job{
 			Name:    fmt.Sprintf("job%d", i),
 			Problem: rj.p,
@@ -302,18 +335,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Options: opts,
 		})
 		jobIdx = append(jobIdx, i)
+		jobFps = append(jobFps, solve.ProblemFingerprint(rj.p, rj.v))
 	}
 	for j, res := range solve.SolveBatch(ctx, jobs, workers) {
 		i := jobIdx[j]
+		if res.Result.Frontier != nil {
+			s.sess.StoreWarm(jobFps[j], res.Result.Frontier)
+		}
 		elapsed := int64(0) // per-job wall clock is folded into the batch
 		code, resp, errMsg := mapOutcome(res.Result, res.Err, elapsed)
+		if resp != nil {
+			resp.Fingerprint = jobFps[j]
+			resp.Warm = res.Result.Resumed
+		}
 		out.Results[i] = BatchResult{Code: code, Response: resp, Error: errMsg}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // runJob resolves and solves one request, returning the HTTP status, the
-// response on success/partial, or an error message.
+// response on success/partial, or an error message. The request's problem
+// fingerprint is computed from the resolved instance (never trusted from
+// the client), warm-start state for req.Base is looked up — an unknown or
+// evicted base silently degrades to a cold solve — and any frontier the
+// solver exports is stored under the request's own fingerprint so the
+// client can chain cost edits.
 func (s *Server) runJob(ctx context.Context, req *SolveRequest, d time.Duration) (int, *SolveResponse, string) {
 	v, p, code, errMsg := s.resolve(ctx, req)
 	if errMsg != "" {
@@ -321,9 +367,21 @@ func (s *Server) runJob(ctx context.Context, req *SolveRequest, d time.Duration)
 	}
 	opts := req.solveOptions(v)
 	opts.Timeout = d
+	fp := solve.ProblemFingerprint(p, v)
+	if req.Base != "" {
+		opts.Resume = s.sess.Warm(req.Base)
+	}
 	start := time.Now()
 	res, err := solve.Solve(ctx, req.Solver, p, opts)
-	return mapOutcome(res, err, time.Since(start).Milliseconds())
+	if res.Frontier != nil {
+		s.sess.StoreWarm(fp, res.Frontier)
+	}
+	code, resp, errMsg := mapOutcome(res, err, time.Since(start).Milliseconds())
+	if resp != nil {
+		resp.Fingerprint = fp
+		resp.Warm = res.Resumed
+	}
+	return code, resp, errMsg
 }
 
 // resolve materializes the request's problem: a spec document or a
@@ -475,9 +533,10 @@ func toResponse(res solve.Result, elapsedMs int64) *SolveResponse {
 			Theorem: res.Bound.Theorem,
 		},
 		Counters: CountersSpec{
-			Nodes:   res.Counters.Nodes,
-			Checked: res.Counters.Checked,
-			Pruned:  res.Counters.Pruned,
+			Nodes:    res.Counters.Nodes,
+			Checked:  res.Counters.Checked,
+			Pruned:   res.Counters.Pruned,
+			MemoHits: res.Counters.MemoHits,
 		},
 		ElapsedMs: elapsedMs,
 	}

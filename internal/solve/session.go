@@ -12,6 +12,7 @@ import (
 
 	"secureview/internal/oracle"
 	"secureview/internal/privacy"
+	"secureview/internal/search"
 	"secureview/internal/secureview"
 	"secureview/internal/workflow"
 )
@@ -45,11 +46,22 @@ type Session struct {
 	bytes    int64
 	problems map[string]*sessionEntry
 	oracles  map[string]*sessionEntry
-	// LRU list over both caches; front = most recently used.
-	front, back *sessionEntry
-	hits        int
-	misses      int
-	evictions   int
+	warm     map[string]*sessionEntry
+	// structIdx maps a derivation's cost-independent structure key to the
+	// most recent completed problem entry with that structure, powering the
+	// DeltaDerive fast path: a request whose full key misses but whose
+	// structure key hits re-costs the cached problem instead of re-running
+	// the per-module analyses. Maintained under mu; entries are removed when
+	// the backing problem entry is evicted.
+	structIdx map[string]*sessionEntry
+	// LRU list over all caches; front = most recently used.
+	front, back  *sessionEntry
+	hits         int
+	misses       int
+	evictions    int
+	warmHits     int
+	warmMisses   int
+	deltaDerives int
 }
 
 // sessionEntry is one cached derivation or compilation. done/size/p/c/err
@@ -59,8 +71,8 @@ type Session struct {
 // the session byte total (i.e. the derivation committed), which is what the
 // eviction walk keys on — entries still deriving carry no accounted bytes.
 type sessionEntry struct {
-	key     string
-	problem bool // which map the entry lives in
+	key  string
+	kind entryKind // which map the entry lives in
 
 	mu   sync.Mutex
 	done bool
@@ -72,7 +84,22 @@ type sessionEntry struct {
 	prev, next *sessionEntry
 	accounted  bool
 	evicted    bool
+	// structKey links a completed problem entry to its structIdx slot so
+	// eviction can drop the index entry; f is a warm entry's payload. Both
+	// are guarded by the Session mutex (warm entries never use the
+	// singleflight lock: StoreWarm installs a complete value in one step).
+	structKey string
+	f         *search.Frontier
 }
+
+// entryKind selects which Session map an entry lives in.
+type entryKind int8
+
+const (
+	kindOracle entryKind = iota
+	kindProblem
+	kindWarm
+)
 
 // NewSession returns an empty session with no size bound.
 func NewSession() *Session {
@@ -85,9 +112,11 @@ func NewSession() *Session {
 // and their pooled scratch), not exact heap usage.
 func NewSessionBytes(maxBytes int64) *Session {
 	return &Session{
-		maxBytes: maxBytes,
-		problems: make(map[string]*sessionEntry),
-		oracles:  make(map[string]*sessionEntry),
+		maxBytes:  maxBytes,
+		problems:  make(map[string]*sessionEntry),
+		oracles:   make(map[string]*sessionEntry),
+		warm:      make(map[string]*sessionEntry),
+		structIdx: make(map[string]*sessionEntry),
 	}
 }
 
@@ -100,7 +129,17 @@ type SessionStats struct {
 	Misses int `json:"misses"`
 	// Evictions counts entries removed under memory pressure.
 	Evictions int `json:"evictions"`
-	// Entries and Bytes are the current occupancy across both caches;
+	// WarmHits and WarmMisses count warm-start frontier lookups by
+	// fingerprint; they are tracked separately from Hits/Misses because a
+	// warm miss is not a derivation (the solve proceeds cold) and a warm hit
+	// does not skip one.
+	WarmHits   int `json:"warmHits"`
+	WarmMisses int `json:"warmMisses"`
+	// DeltaDerives counts problem derivations served by re-costing a cached
+	// structurally identical problem instead of re-running the per-module
+	// analyses (a subset of Misses).
+	DeltaDerives int `json:"deltaDerives"`
+	// Entries and Bytes are the current occupancy across all caches;
 	// MaxBytes echoes the configured budget (0 = unbounded). Bytes never
 	// exceeds MaxBytes when a budget is set.
 	Entries  int   `json:"entries"`
@@ -114,27 +153,39 @@ func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SessionStats{
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Evictions: s.evictions,
-		Entries:   len(s.problems) + len(s.oracles),
-		Bytes:     s.bytes,
-		MaxBytes:  s.maxBytes,
+		Hits:         s.hits,
+		Misses:       s.misses,
+		Evictions:    s.evictions,
+		WarmHits:     s.warmHits,
+		WarmMisses:   s.warmMisses,
+		DeltaDerives: s.deltaDerives,
+		Entries:      len(s.problems) + len(s.oracles) + len(s.warm),
+		Bytes:        s.bytes,
+		MaxBytes:     s.maxBytes,
+	}
+}
+
+// mapFor returns the cache map an entry kind lives in. Caller holds s.mu.
+func (s *Session) mapFor(k entryKind) map[string]*sessionEntry {
+	switch k {
+	case kindProblem:
+		return s.problems
+	case kindWarm:
+		return s.warm
+	default:
+		return s.oracles
 	}
 }
 
 // lookup returns the entry for key in the given cache, creating it on first
 // request, and marks it most recently used.
-func (s *Session) lookup(key string, problem bool) *sessionEntry {
-	m := s.oracles
-	if problem {
-		m = s.problems
-	}
+func (s *Session) lookup(key string, kind entryKind) *sessionEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	m := s.mapFor(kind)
 	e, ok := m[key]
 	if !ok {
-		e = &sessionEntry{key: key, problem: problem}
+		e = &sessionEntry{key: key, kind: kind}
 		m[key] = e
 	}
 	s.touchLocked(e)
@@ -179,14 +230,35 @@ func (s *Session) unlinkLocked(e *sessionEntry) {
 // keeps its pointer; only future requests re-derive), so the accounted
 // total never exceeds the budget.
 func (s *Session) commit(e *sessionEntry) {
+	s.commitProblem(e, "", false)
+}
+
+// commitProblem is commit with the problem-only extras: on a successful
+// derivation it publishes the entry in the structure index (enabling later
+// DeltaDerives), and records whether this derivation itself was served by
+// delta re-costing.
+func (s *Session) commitProblem(e *sessionEntry, structKey string, delta bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.misses++
+	if delta {
+		s.deltaDerives++
+	}
 	if e.evicted {
 		return
 	}
 	e.accounted = true
 	s.bytes += e.size
+	if structKey != "" && e.err == nil && e.p != nil {
+		e.structKey = structKey
+		s.structIdx[structKey] = e
+	}
+	s.evictOverLocked()
+}
+
+// evictOverLocked evicts LRU accounted entries until the budget holds.
+// Caller holds s.mu.
+func (s *Session) evictOverLocked() {
 	if s.maxBytes <= 0 {
 		return
 	}
@@ -212,10 +284,7 @@ func (s *Session) discard(e *sessionEntry) {
 	if e.evicted || e.accounted {
 		return
 	}
-	m := s.oracles
-	if e.problem {
-		m = s.problems
-	}
+	m := s.mapFor(e.kind)
 	// Guard against ABA: if pressure evicted e and a later caller re-created
 	// the key, the map now holds a different entry that must survive.
 	if m[e.key] != e {
@@ -236,10 +305,9 @@ func (s *Session) evictLocked(e *sessionEntry) {
 		s.bytes -= e.size
 		e.accounted = false
 	}
-	if e.problem {
-		delete(s.problems, e.key)
-	} else {
-		delete(s.oracles, e.key)
+	delete(s.mapFor(e.kind), e.key)
+	if e.structKey != "" && s.structIdx[e.structKey] == e {
+		delete(s.structIdx, e.structKey)
 	}
 	s.unlinkLocked(e)
 	s.evictions++
@@ -308,13 +376,19 @@ func hashCosts(h hash.Hash, tag byte, costs map[string]float64) {
 	}
 }
 
-// workflowKey fingerprints a derivation request: every module's identity
+// workflowKeys fingerprints a derivation request: every module's identity
 // plus visibility, the privacy requirement, the variant and both cost
 // assignments. The workflow's own name is deliberately NOT hashed — it
 // never affects the derived problem (solutions are attribute/module name
 // sets), so renamed handles to the same workflow share one entry.
-func workflowKey(w *workflow.Workflow, v secureview.Variant, gamma uint64,
-	costs privacy.Costs, privatizeCosts map[string]float64) string {
+//
+// Two keys come back from one hashing pass: full covers everything,
+// structural stops before the cost maps. Costs enter a derived problem only
+// as Problem.Costs and ModuleSpec.PrivatizeCost — the expensive per-module
+// requirement analyses never read them — so two requests sharing a
+// structural key differ only by re-costing (the DeltaDerive fast path).
+func workflowKeys(w *workflow.Workflow, v secureview.Variant, gamma uint64,
+	costs privacy.Costs, privatizeCosts map[string]float64) (full, structural string) {
 	h := sha256.New()
 	hashStr(h, 'V', "solve/v2")
 	hashU64(h, uint64(v))
@@ -326,9 +400,48 @@ func workflowKey(w *workflow.Workflow, v secureview.Variant, gamma uint64,
 		hashU64(h, uint64(m.Visibility()))
 		hashModuleView(h, privacy.NewModuleView(m))
 	}
+	structural = string(h.Sum(nil))
 	hashCosts(h, 'c', costs)
 	hashCosts(h, 'p', privatizeCosts)
-	return string(h.Sum(nil))
+	return string(h.Sum(nil)), structural
+}
+
+// workflowKey is the full (cost-inclusive) cache key alone.
+func workflowKey(w *workflow.Workflow, v secureview.Variant, gamma uint64,
+	costs privacy.Costs, privatizeCosts map[string]float64) string {
+	full, _ := workflowKeys(w, v, gamma, costs, privatizeCosts)
+	return full
+}
+
+// deltaSource returns the cached problem to re-cost for the given structure
+// key, or nil when none is available. Entries reached through structIdx are
+// complete (commitProblem indexes only successful derivations) and
+// immutable, so reading p under s.mu alone is safe: the index insertion
+// happened under s.mu after the derivation wrote p.
+func (s *Session) deltaSource(structKey string) *secureview.Problem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.structIdx[structKey]; e != nil {
+		return e.p
+	}
+	return nil
+}
+
+// deltaClone re-costs a structurally identical derived problem: the
+// requirement lists and module interfaces are shared (immutable after
+// derivation), only Costs and the public modules' PrivatizeCost change —
+// exactly the two places DeriveOptions costs land, so the clone is
+// indistinguishable from a fresh derivation with the new costs.
+func deltaClone(src *secureview.Problem, costs privacy.Costs,
+	privatizeCosts map[string]float64) *secureview.Problem {
+	mods := make([]secureview.ModuleSpec, len(src.Modules))
+	copy(mods, src.Modules)
+	for i := range mods {
+		if mods[i].Public {
+			mods[i].PrivatizeCost = privatizeCosts[mods[i].Name]
+		}
+	}
+	return &secureview.Problem{Modules: mods, Costs: costs}
 }
 
 // Problem returns the Secure-View instance derived from (w, Γ, costs) in
@@ -347,7 +460,12 @@ func (s *Session) Problem(ctx context.Context, w *workflow.Workflow, v securevie
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	e := s.lookup(workflowKey(w, v, gamma, costs, privatizeCosts), true)
+	full, structKey := workflowKeys(w, v, gamma, costs, privatizeCosts)
+	// Resolve a potential delta source before taking the entry lock — no
+	// path may block on s.mu while holding an entry lock. On a cache hit the
+	// index read is wasted, but it is a single locked map access.
+	src := s.deltaSource(structKey)
+	e := s.lookup(full, kindProblem)
 	e.mu.Lock()
 	if e.done {
 		// Copy under e.mu, count the hit after releasing it: no path may
@@ -370,7 +488,11 @@ func (s *Session) Problem(ctx context.Context, w *workflow.Workflow, v securevie
 		s.discard(e)
 		return nil, err
 	}
-	if v == secureview.Set {
+	delta := false
+	if src != nil {
+		e.p, e.err = deltaClone(src, costs, privatizeCosts), nil
+		delta = true
+	} else if v == secureview.Set {
 		e.p, e.err = secureview.Derive(w, secureview.DeriveOptions{
 			Gamma: gamma, Costs: costs, PrivatizeCosts: privatizeCosts,
 		})
@@ -381,7 +503,7 @@ func (s *Session) Problem(ctx context.Context, w *workflow.Workflow, v securevie
 	e.size = problemSize(e.p)
 	p, err := e.p, e.err
 	e.mu.Unlock()
-	s.commit(e)
+	s.commitProblem(e, structKey, delta)
 	return p, err
 }
 
@@ -392,7 +514,7 @@ func (s *Session) Compiled(mv privacy.ModuleView) (*oracle.Compiled, error) {
 	h := sha256.New()
 	hashStr(h, 'V', "solve/oracle/v2")
 	hashModuleView(h, mv)
-	e := s.lookup(string(h.Sum(nil)), false)
+	e := s.lookup(string(h.Sum(nil)), kindOracle)
 	e.mu.Lock()
 	if e.done {
 		c, err := e.c, e.err

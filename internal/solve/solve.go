@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"secureview/internal/search"
 	"secureview/internal/secureview"
 )
 
@@ -53,7 +54,16 @@ type Options struct {
 	// FrontierCap bounds the engine solver's domination-frontier antichains
 	// (0 = the search package default). Larger caps prune more but cost more
 	// per candidate; overflow is reported in Counters.FrontierDropped.
+	// Negative values are rejected by the Solve front door — the search
+	// layer would silently substitute its default, masking a caller bug.
 	FrontierCap int
+	// Resume seeds the engine solver with warm-start state exported by an
+	// earlier run over the same attribute universe (Result.Frontier).
+	// Safety verdicts are cost-independent, so a frontier stays valid across
+	// cost-only edits of a problem; a mismatched universe is conservatively
+	// ignored and the solve degrades to a cold run (Result.Resumed reports
+	// which happened). Solvers other than the engine ignore it.
+	Resume *search.Frontier
 	// DisableCollapse turns off the engine solver's attribute equivalence-
 	// class collapsing (requirement-interchangeable, equal-cost attributes
 	// explored only in canonical combinations). On by default because it
@@ -119,8 +129,17 @@ type Counters struct {
 	// (1 without batching).
 	BatchSize int
 	// FrontierDropped counts masks the engine's domination frontiers evicted
-	// at their cap — lost pruning power, never lost correctness.
+	// at their cap — lost pruning power, never lost correctness. A non-zero
+	// value is purely a performance signal (raise FrontierCap if warm-start
+	// hit rates or prune rates matter); results remain exact regardless.
 	FrontierDropped int
+	// ResumedSafe and ResumedUnsafe count warm-start masks imported from
+	// Options.Resume into the engine's domination stores (0 on cold runs).
+	ResumedSafe   int
+	ResumedUnsafe int
+	// MemoHits counts candidates answered from the warm-start verdict memo
+	// instead of the oracle.
+	MemoHits int
 }
 
 // Result is a solver outcome.
@@ -141,6 +160,14 @@ type Result struct {
 	Bound Bound
 	// Counters reports search effort.
 	Counters Counters
+	// Resumed is true when the engine solver accepted Options.Resume and
+	// actually seeded its search from it (false on cold runs and when the
+	// frontier's universe did not match).
+	Resumed bool
+	// Frontier is the warm-start state the engine solver exported for this
+	// problem's attribute universe — feed it back via Options.Resume after a
+	// cost-only edit. Nil for every other solver and for cancelled runs.
+	Frontier *search.Frontier
 }
 
 // Capabilities declares what a solver can do, as data: which variants it
@@ -298,6 +325,12 @@ func For(p *secureview.Problem, v secureview.Variant) []Solver {
 // Solve is the front door: it resolves the named solver, checks capability,
 // applies Options.Timeout as a context deadline, and runs it.
 func Solve(ctx context.Context, solver string, p *secureview.Problem, opts Options) (Result, error) {
+	if opts.FrontierCap < 0 {
+		// The search layer maps non-positive caps to its default; surfacing
+		// the bug here beats silently searching with a different cap than
+		// the caller asked for.
+		return Result{}, fmt.Errorf("solve: negative FrontierCap %d", opts.FrontierCap)
+	}
 	s, ok := Get(solver)
 	if !ok {
 		return Result{}, fmt.Errorf("solve: unknown solver %q (have %v)", solver, Names())

@@ -143,7 +143,8 @@ func (engineSolver) Solve(ctx context.Context, p *secureview.Problem, opts Optio
 		hidden := sp.NameSet(sp.All() &^ visible)
 		return p.Feasible(secureview.Solution{Hidden: hidden, Privatized: none}, opts.Variant), nil
 	})
-	sOpts := search.Options{Parallelism: opts.Workers, FrontierCap: opts.FrontierCap}
+	sOpts := search.Options{Parallelism: opts.Workers, FrontierCap: opts.FrontierCap,
+		Resume: opts.Resume}
 	if !opts.DisableCollapse {
 		sOpts.Symmetry = requirementClasses(p, opts.Variant, attrs)
 	}
@@ -154,16 +155,22 @@ func (engineSolver) Solve(ctx context.Context, p *secureview.Problem, opts Optio
 		OraclePasses:    res.Stats.OraclePasses,
 		BatchSize:       res.Stats.BatchSize,
 		FrontierDropped: res.Stats.FrontierDropped,
+		ResumedSafe:     res.Stats.ResumedSafe,
+		ResumedUnsafe:   res.Stats.ResumedUnsafe,
+		MemoHits:        res.Stats.MemoHits,
 	}
 	if err != nil {
-		return Result{Solver: "engine", Variant: opts.Variant, Counters: c}, err
+		return Result{Solver: "engine", Variant: opts.Variant, Counters: c, Resumed: res.Stats.Resumed}, err
 	}
 	if !res.Found {
-		return Result{Solver: "engine", Variant: opts.Variant, Counters: c},
+		return Result{Solver: "engine", Variant: opts.Variant, Counters: c, Resumed: res.Stats.Resumed},
 			fmt.Errorf("solve: no feasible solution")
 	}
-	return finish("engine", p, opts.Variant, p.Complete(sp.NameSet(res.Hidden)), true,
-		Bound{Factor: 1, Theorem: "exhaustive over useful attributes (Proposition 1 pruning)"}, c), nil
+	out := finish("engine", p, opts.Variant, p.Complete(sp.NameSet(res.Hidden)), true,
+		Bound{Factor: 1, Theorem: "exhaustive over useful attributes (Proposition 1 pruning)"}, c)
+	out.Resumed = res.Stats.Resumed
+	out.Frontier = res.Frontier
+	return out, nil
 }
 
 // requirementClasses groups the search universe into requirement-level
