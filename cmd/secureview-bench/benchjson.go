@@ -150,6 +150,16 @@ func collectBenchResults(quick bool, repsOverride int) ([]benchResult, error) {
 		return nil, err
 	}
 	results = append(results, edits...)
+	snaps, err := snapshotResults(quick, repsOverride)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, snaps...)
+	lg, err := loadgenResults(quick)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, lg...)
 	scen, err := scenarioResults(quick, repsOverride)
 	if err != nil {
 		return nil, err

@@ -40,14 +40,33 @@
 //	                     worker-pool front-end with per-job deadlines; every
 //	                     solver observes ctx within one pruning epoch; the
 //	                     portfolio meta-solver races all applicable solvers
-//	                     under one context and cancels the losers
+//	                     under one context and cancels the losers;
+//	                     Session.Snapshot / RestoreSession serialize the hot
+//	                     state through internal/wire for cold-start-free
+//	                     process restarts
+//	internal/wire        versioned, checksummed binary envelope (magic +
+//	                     version + length + CRC-32C) under every snapshot;
+//	                     Open rejects corrupt, truncated or version-bumped
+//	                     payloads so restore degrades instead of misreading
+//	internal/ring        consistent-hash ring (static membership, virtual
+//	                     nodes) assigning request fingerprints to replicas
+//	                     in shard mode
+//	internal/load        mixed-workload generator for the serving path:
+//	                     solves, batches and warm-start edit chains with
+//	                     deterministic per-worker streams, reporting
+//	                     p50/p99/max latency, throughput and error/429
+//	                     counts
 //	internal/server      HTTP/JSON front-end over the solve registry:
 //	                     bounded admission (429 on overload), per-request
 //	                     deadlines mapped to solve.Options.Timeout (206
 //	                     partial incumbents on expiry), batch endpoint over
 //	                     SolveBatch, spec- and generated-(class, seed)
 //	                     request forms, byte-capped shared Session,
-//	                     fingerprint/base warm-start chaining for edit loops
+//	                     fingerprint/base warm-start chaining for edit loops;
+//	                     session snapshot/restore (periodic + on-SIGTERM,
+//	                     restore-on-boot gated by /readyz) and a sharded
+//	                     serving mode proxying each solve to the replica
+//	                     owning its structural fingerprint on the ring
 //	internal/lp          two-phase simplex (substrate)
 //	internal/sat         CNF + DPLL (substrate for Theorem 2)
 //	internal/combopt     set/vertex/label cover: weighted instances,
@@ -71,7 +90,9 @@
 //	internal/exp         experiment registry E1–E23
 //
 // Entry points: cmd/secureview (solve instances), cmd/secureview-serve
-// (serve the solver layer over HTTP), cmd/secureview-bench (reproduce the
-// experiment tables), cmd/worlds (world counting), and the runnable
-// programs under examples/. See DESIGN.md and EXPERIMENTS.md.
+// (serve the solver layer over HTTP, optionally snapshotted and sharded),
+// cmd/secureview-load (drive a mixed workload against a running server),
+// cmd/secureview-bench (reproduce the experiment tables), cmd/worlds
+// (world counting), and the runnable programs under examples/. See
+// DESIGN.md and EXPERIMENTS.md.
 package secureview

@@ -838,6 +838,24 @@ func runE20(quick bool) []*Table {
 // (the paper's natural utility model), and Γ forcing the optimum to hide
 // most outputs — the regime where safety tests dominate wall-clock.
 func SearchBenchInstance(k int) (privacy.ModuleView, privacy.Costs, uint64) {
+	m, costs, gamma := searchBenchModule(k)
+	return privacy.NewModuleView(m), costs, gamma
+}
+
+// SearchBenchWorkflow wraps the same standard benchmark instance in a
+// single-module workflow, so session-level machinery (derivation caching,
+// snapshot/restore, the HTTP serving path) can be measured on exactly the
+// instances the standalone-search rows use.
+func SearchBenchWorkflow(k int) (*workflow.Workflow, privacy.Costs, uint64) {
+	m, costs, gamma := searchBenchModule(k)
+	w, err := workflow.New(fmt.Sprintf("searchbench-%d", k), m)
+	if err != nil {
+		panic(fmt.Sprintf("exp: SearchBenchWorkflow(%d): %v", k, err))
+	}
+	return w, costs, gamma
+}
+
+func searchBenchModule(k int) (*module.Module, privacy.Costs, uint64) {
 	rng := rand.New(rand.NewSource(int64(k)))
 	nIn := k / 2
 	in := make([]string, nIn)
@@ -849,7 +867,6 @@ func SearchBenchInstance(k int) (privacy.ModuleView, privacy.Costs, uint64) {
 		out[i] = fmt.Sprintf("y%d", i)
 	}
 	m := module.Random("m", relation.Bools(in...), relation.Bools(out...), rng)
-	mv := privacy.NewModuleView(m)
 	costs := make(privacy.Costs, k)
 	for _, a := range in {
 		costs[a] = 4
@@ -858,7 +875,7 @@ func SearchBenchInstance(k int) (privacy.ModuleView, privacy.Costs, uint64) {
 		costs[a] = 1
 	}
 	gamma := uint64(1) << (k - nIn - 1)
-	return mv, costs, gamma
+	return m, costs, gamma
 }
 
 // runE21 measures what compiling the safety oracle buys inside the engine

@@ -1,0 +1,167 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"secureview/internal/relation"
+	"secureview/internal/wire"
+)
+
+// Snapshot codec. Only the primary tables travel: the attribute universe,
+// the input/output split, the domain sizes, and the row digits. Everything
+// else a Compiled carries — packed row words, stamp-table sizing, the
+// equivalence classes, the input-code index, the scratch pool — is a pure
+// function of those tables and is recomputed by finish() on decode, so the
+// wire shape cannot smuggle in inconsistent derived state and stays a
+// fraction of MemSize.
+
+// AppendBinary appends the compiled oracle's primary tables to buf and
+// returns the extended slice. Decode with DecodeCompiled.
+func (c *Compiled) AppendBinary(buf []byte) []byte {
+	buf = wire.AppendU64(buf, uint64(c.nIn))
+	buf = wire.AppendU64(buf, uint64(c.nOut))
+	for _, a := range c.attrs {
+		buf = wire.AppendString(buf, a)
+	}
+	for _, d := range c.inDoms {
+		buf = wire.AppendU64(buf, d)
+	}
+	for _, d := range c.outDoms {
+		buf = wire.AppendU64(buf, d)
+	}
+	buf = wire.AppendU64(buf, uint64(c.n))
+	for _, d := range c.inDig {
+		buf = wire.AppendU32(buf, uint32(d))
+	}
+	for _, d := range c.outDig {
+		buf = wire.AppendU32(buf, uint32(d))
+	}
+	return buf
+}
+
+// DecodeCompiled decodes one compiled oracle from r and rebuilds every
+// derived structure. All invariants Compile establishes are re-validated —
+// universe size, domain bounds, digit ranges, domain-product overflow — so
+// a corrupt or hostile payload fails with an error instead of becoming an
+// oracle whose queries index out of bounds.
+func DecodeCompiled(r *wire.Reader) (*Compiled, error) {
+	nIn := int(r.U64())
+	nOut := int(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nIn < 0 || nOut < 0 || nIn+nOut > MaxAttrs {
+		return nil, fmt.Errorf("oracle: decoded universe %d+%d exceeds %d attributes", nIn, nOut, MaxAttrs)
+	}
+	k := nIn + nOut
+	c := &Compiled{
+		nIn:     nIn,
+		nOut:    nOut,
+		attrs:   make([]string, k),
+		inDoms:  make([]uint64, nIn),
+		outDoms: make([]uint64, nOut),
+	}
+	seen := make(map[string]bool, k)
+	for i := range c.attrs {
+		a := r.String()
+		if a == "" && r.Err() == nil {
+			return nil, fmt.Errorf("oracle: decoded attribute %d has empty name", i)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("oracle: decoded duplicate attribute %q", a)
+		}
+		seen[a] = true
+		c.attrs[i] = a
+	}
+	for i := range c.inDoms {
+		c.inDoms[i] = r.U64()
+	}
+	for j := range c.outDoms {
+		c.outDoms[j] = r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for _, d := range append(append([]uint64(nil), c.inDoms...), c.outDoms...) {
+		if d < 1 || d > math.MaxInt32 {
+			return nil, fmt.Errorf("oracle: decoded domain %d out of range", d)
+		}
+	}
+
+	// Domain products, with the same overflow discipline as Compile.
+	c.prodIn, c.prodOut = 1, 1
+	for _, d := range c.inDoms {
+		if c.prodIn > math.MaxUint64/d {
+			return nil, fmt.Errorf("oracle: decoded input domain product overflows uint64")
+		}
+		c.prodIn *= d
+	}
+	for _, d := range c.outDoms {
+		if c.prodOut > math.MaxUint64/d {
+			return nil, fmt.Errorf("oracle: decoded output domain product overflows uint64")
+		}
+		c.prodOut *= d
+	}
+	if c.prodOut != 0 && c.prodIn > math.MaxUint64/c.prodOut {
+		return nil, fmt.Errorf("oracle: decoded packed key space overflows uint64")
+	}
+
+	// Row digits. Each row occupies 4·(nIn+nOut) bytes on the wire, which
+	// bounds the decoded row count before the allocation.
+	nRows := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if k > 0 && nRows > uint64(r.Remaining()/(4*k)) {
+		return nil, fmt.Errorf("oracle: decoded row count %d exceeds payload", nRows)
+	}
+	if k == 0 && nRows > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("oracle: decoded row count %d out of range", nRows)
+	}
+	c.n = int(nRows)
+	c.inDig = make([]int32, c.n*nIn)
+	c.outDig = make([]int32, c.n*nOut)
+	for i := range c.inDig {
+		d := r.U32()
+		if uint64(d) >= c.inDoms[i%nIn] {
+			return nil, fmt.Errorf("oracle: decoded input digit %d out of domain %d", d, c.inDoms[i%nIn])
+		}
+		c.inDig[i] = int32(d)
+	}
+	for i := range c.outDig {
+		d := r.U32()
+		if uint64(d) >= c.outDoms[i%nOut] {
+			return nil, fmt.Errorf("oracle: decoded output digit %d out of domain %d", d, c.outDoms[i%nOut])
+		}
+		c.outDig[i] = int32(d)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+
+	// The output schema (decoding OUT-set codes) and the full-input-code
+	// index, exactly as Compile builds them: EncodeCols and visInCode share
+	// the same mixed-radix order, so the rebuilt index keys are identical.
+	outAttrs := make([]relation.Attribute, nOut)
+	for j := range outAttrs {
+		outAttrs[j] = relation.Attribute{Name: c.attrs[nIn+j], Domain: int(c.outDoms[j])}
+	}
+	outSchema, err := relation.NewSchema(outAttrs)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: decoded output schema: %w", err)
+	}
+	c.outSchema = outSchema
+	c.inCodeRow = make(map[uint64]int32, c.n)
+	for row := 0; row < c.n; row++ {
+		var code uint64
+		for i := 0; i < nIn; i++ {
+			code = code*c.inDoms[i] + uint64(c.inDig[row*nIn+i])
+		}
+		if _, ok := c.inCodeRow[code]; !ok {
+			c.inCodeRow[code] = int32(row)
+		}
+	}
+	c.finish()
+	return c, nil
+}

@@ -1,0 +1,124 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"secureview/internal/relation"
+	"secureview/internal/wire"
+)
+
+// randomCompiled builds a compiled oracle over a random relation with mixed
+// domain sizes; wide=true pushes it past the packed-word path.
+func randomCompiled(t *testing.T, rng *rand.Rand, wide bool) *Compiled {
+	t.Helper()
+	nIn, nOut := 2+rng.Intn(3), 2+rng.Intn(3)
+	maxDom := 3
+	if wide {
+		maxDom = 40 // field widths blow past bitsMax
+	}
+	var attrs []relation.Attribute
+	var inputs, outputs []string
+	for i := 0; i < nIn; i++ {
+		name := string(rune('a' + i))
+		attrs = append(attrs, relation.Attribute{Name: name, Domain: 2 + rng.Intn(maxDom)})
+		inputs = append(inputs, name)
+	}
+	for j := 0; j < nOut; j++ {
+		name := string(rune('p' + j))
+		attrs = append(attrs, relation.Attribute{Name: name, Domain: 2 + rng.Intn(maxDom)})
+		outputs = append(outputs, name)
+	}
+	schema := relation.MustSchema(attrs...)
+	rel := relation.New(schema)
+	for r := 0; r < 8+rng.Intn(24); r++ {
+		row := make(relation.Tuple, len(attrs))
+		for i, a := range attrs {
+			row[i] = rng.Intn(a.Domain)
+		}
+		if err := rel.Insert(row); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	c, err := Compile(rel, inputs, outputs)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return c
+}
+
+// TestCodecRoundTrip: a decoded oracle must answer every query exactly like
+// its source — same MinOutSize on every mask, same batch answers, same
+// equivalence classes, same memory accounting.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		src := randomCompiled(t, rng, trial%4 == 3)
+		dec, err := DecodeCompiled(wire.NewReader(src.AppendBinary(nil)))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if dec.K() != src.K() || dec.Rows() != src.Rows() {
+			t.Fatalf("trial %d: shape %d/%d vs %d/%d", trial, dec.K(), dec.Rows(), src.K(), src.Rows())
+		}
+		if dec.MemSize() != src.MemSize() {
+			t.Fatalf("trial %d: MemSize %d vs %d", trial, dec.MemSize(), src.MemSize())
+		}
+		all := int(src.All())
+		masks := make([]Mask, 0, all+1)
+		for m := 0; m <= all; m++ {
+			masks = append(masks, Mask(m))
+			if src.MinOutSize(Mask(m)) != dec.MinOutSize(Mask(m)) {
+				t.Fatalf("trial %d: MinOutSize(%b) diverges", trial, m)
+			}
+		}
+		wantBatch := src.MinOutSizeBatch(masks)
+		gotBatch := dec.MinOutSizeBatch(masks)
+		for i := range wantBatch {
+			if wantBatch[i] != gotBatch[i] {
+				t.Fatalf("trial %d: batch answer %d diverges", trial, i)
+			}
+		}
+		we, ge := src.EquivClasses(), dec.EquivClasses()
+		if len(we) != len(ge) {
+			t.Fatalf("trial %d: equiv classes %d vs %d", trial, len(ge), len(we))
+		}
+		for i := range we {
+			if len(we[i]) != len(ge[i]) {
+				t.Fatalf("trial %d: equiv class %d sizes differ", trial, i)
+			}
+			for j := range we[i] {
+				if we[i][j] != ge[i][j] {
+					t.Fatalf("trial %d: equiv class %d member %d differs", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCodecRejectsCorruption: every single-byte flip of a valid payload must
+// either decode to an oracle that still validates (flips in digit padding
+// can be benign) or fail cleanly — never panic. Structural flips (counts,
+// domains) must fail.
+func TestCodecRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randomCompiled(t, rng, false)
+	buf := src.AppendBinary(nil)
+	for i := 0; i < len(buf); i++ {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0xFF
+		c, err := DecodeCompiled(wire.NewReader(bad))
+		if err != nil {
+			continue
+		}
+		// A benign flip must still yield a queryable oracle.
+		c.MinOutSize(c.All())
+		c.MinOutSize(0)
+	}
+	if _, err := DecodeCompiled(wire.NewReader(buf[:len(buf)/2])); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+	if _, err := DecodeCompiled(wire.NewReader(nil)); err == nil {
+		t.Fatal("empty payload decoded")
+	}
+}

@@ -225,7 +225,18 @@ func Compile(rel *relation.Relation, inputs, outputs []string) (*Compiled, error
 			c.inCodeRow[code] = int32(r)
 		}
 	}
-	c.dense = prodIn*prodOut <= denseMax
+	c.finish()
+	return c, nil
+}
+
+// finish derives everything the queries need from the primary tables
+// (attrs, domains, digits, code index): the dense/packed-word dispatch,
+// the equivalence classes, and the scratch pool. Shared by Compile and the
+// snapshot decoder — both end with exactly this computation, so a decoded
+// oracle is indistinguishable from a freshly compiled one.
+func (c *Compiled) finish() {
+	n := c.n
+	c.dense = c.prodIn*c.prodOut <= denseMax
 	c.compileBits()
 	c.computeEquiv()
 	c.scratch.New = func() any {
@@ -240,13 +251,12 @@ func Compile(rel *relation.Relation, inputs, outputs []string) (*Compiled, error
 			sc.bCnt = make([]uint32, 1<<(c.inBits+c.bshift))
 			sc.bVins = make([]uint32, 0, n<<c.bshift)
 		case c.dense:
-			sc.keyStamp = make([]uint32, prodIn*prodOut)
-			sc.vinStamp = make([]uint32, prodIn)
-			sc.cnt = make([]uint32, prodIn)
+			sc.keyStamp = make([]uint32, c.prodIn*c.prodOut)
+			sc.vinStamp = make([]uint32, c.prodIn)
+			sc.cnt = make([]uint32, c.prodIn)
 		}
 		return sc
 	}
-	return c, nil
 }
 
 // fieldWidth returns the bit width of one attribute field: enough bits for

@@ -1,0 +1,101 @@
+// Package ring is the consistent-hash routing layer behind sharded serving:
+// a fixed set of replica addresses is mapped onto a hash circle through
+// virtual nodes, and every request fingerprint is owned by the first node
+// clockwise of its hash. Adding or removing one replica moves only the keys
+// adjacent to its virtual points (~1/n of the space), so a rolling restart
+// does not reshuffle every cache's working set.
+//
+// The ring is static per process — membership comes from configuration, not
+// gossip. That is deliberate: the cache it shards is rebuildable, so the
+// failure story stays trivial (a dead owner means the entry is re-derived
+// locally, nothing more) and the package needs no coordination protocol.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// vnodes is the number of virtual points per node. 64 keeps the ownership
+// spread within a few percent of uniform for small clusters while the whole
+// ring stays a couple of KiB.
+const vnodes = 64
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring maps keys to owning nodes. Immutable after New; safe for concurrent
+// use.
+type Ring struct {
+	self   string
+	nodes  []string
+	points []point
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256. Speed is
+// irrelevant here (one hash per request, a handful per node at build time)
+// and the uniformity is what keeps virtual-node spread honest.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// New builds a ring over self plus its peers. Addresses must be non-empty
+// and distinct; self may appear in peers (it is deduplicated) so every
+// replica can ship the same -peers flag.
+func New(self string, peers []string) (*Ring, error) {
+	if self == "" {
+		return nil, fmt.Errorf("ring: empty self address")
+	}
+	seen := map[string]bool{self: true}
+	nodes := []string{self}
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("ring: empty peer address")
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		nodes = append(nodes, p)
+	}
+	r := &Ring{self: self, nodes: nodes, points: make([]point, 0, vnodes*len(nodes))}
+	for _, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on node so every replica sorts identically even in the
+		// astronomically unlikely event of a point collision.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Self returns this replica's address.
+func (r *Ring) Self() string { return r.self }
+
+// Nodes returns every member address, self first (do not mutate).
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner returns the node owning key: the first virtual point clockwise of
+// the key's hash.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Mine reports whether this replica owns key.
+func (r *Ring) Mine(key string) bool { return r.Owner(key) == r.self }

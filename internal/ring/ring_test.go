@@ -1,0 +1,112 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New("", nil); err == nil {
+		t.Fatal("empty self accepted")
+	}
+	if _, err := New("a", []string{"b", ""}); err == nil {
+		t.Fatal("empty peer accepted")
+	}
+	r, err := New("a", []string{"a", "b", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nodes()) != 2 {
+		t.Fatalf("dedup failed: %v", r.Nodes())
+	}
+}
+
+// TestAgreement: every replica, given the same membership (in any rotation,
+// with itself listed or not), routes every key to the same owner — the
+// property proxying correctness rests on.
+func TestAgreement(t *testing.T) {
+	nodes := []string{"h1:1", "h2:1", "h3:1"}
+	rings := make([]*Ring, len(nodes))
+	for i, self := range nodes {
+		var err error
+		rings[i], err = New(self, nodes) // self included: same flag everywhere
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 1000; k++ {
+		key := fmt.Sprintf("fingerprint-%d", k)
+		want := rings[0].Owner(key)
+		for _, r := range rings[1:] {
+			if got := r.Owner(key); got != want {
+				t.Fatalf("key %q: %s vs %s", key, got, want)
+			}
+		}
+		if (rings[0].Owner(key) == rings[0].Self()) != rings[0].Mine(key) {
+			t.Fatal("Mine disagrees with Owner")
+		}
+	}
+}
+
+// TestSpread: virtual nodes keep per-node ownership within a sane band of
+// uniform (no node below half or above double its fair share).
+func TestSpread(t *testing.T) {
+	nodes := []string{"h1:1", "h2:1", "h3:1", "h4:1"}
+	r, err := New(nodes[0], nodes[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for k := 0; k < keys; k++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", k))]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/2 || c > fair*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair %d): %v", n, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestStability: removing one node moves only the keys it owned — every
+// other key keeps its owner (the consistent-hashing contract).
+func TestStability(t *testing.T) {
+	all := []string{"h1:1", "h2:1", "h3:1", "h4:1"}
+	full, err := New(all[0], all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := New(all[0], all[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 5000
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		before := full.Owner(key)
+		after := smaller.Owner(key)
+		if before == all[3] {
+			continue // owned by the removed node; must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed node changed owner", moved)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	r, err := New("only", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		if !r.Mine(fmt.Sprintf("key-%d", k)) {
+			t.Fatal("single-node ring routed a key elsewhere")
+		}
+	}
+}

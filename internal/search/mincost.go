@@ -409,22 +409,6 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 	safeFront := newFrontier(opts.frontierCap())
 	resumed, nSafe, nUnsafe := s.seedResume(opts.Resume, safeFront, unsafeFront)
 	memo := s.resumeMemo(opts.Resume)
-	var bound atomicFloat
-	bound.Store(math.Inf(1))
-	if resumed {
-		// The complement of any seeded safe visible mask is a feasible
-		// hidden set under the current costs; its cost bounds the optimum
-		// from above, so candidates strictly above it prune immediately.
-		// Equal-cost candidates stay in play, keeping the lex tie-break —
-		// and thus the result — byte-identical to a cold run.
-		bound.Store(s.seedBound(opts.Resume))
-	}
-	var checked, pruned atomic.Int64
-	var passes, maxBatch, memoHits atomic.Int64
-	var firstErr atomic.Value
-	var failed atomic.Bool
-	batchCap := opts.batchCap()
-	freshVerd := make([][]verdict, workers)
 	// Below sortedMax (the warm-resume dispatch) a subset-sum table turns
 	// the per-mask cost into one array load; above it the table would not
 	// fit and the bit-loop CostOf stays.
@@ -432,6 +416,31 @@ func (s *Space) minCostStreaming(oracle Oracle, opts Options, cancelled *atomic.
 	if s.K() <= sortedMax {
 		sums = s.costSums()
 	}
+	costAt := func(hidden Mask) float64 {
+		if sums != nil {
+			return sums[hidden]
+		}
+		return s.CostOf(hidden)
+	}
+	var bound atomicFloat
+	bound.Store(math.Inf(1))
+	if resumed {
+		// The complement of any seeded safe visible mask is a feasible
+		// hidden set under the current costs; its cost bounds the optimum
+		// from above, so candidates strictly above it prune immediately.
+		// Equal-cost candidates stay in play, keeping the lex tie-break —
+		// and thus the result — byte-identical to a cold run. The seed is
+		// priced with costAt, the scan's own evaluator, because a different
+		// summation order could land an ulp above the scan's price for the
+		// same mask and prune the known optimum (see seedBound).
+		bound.Store(s.seedBound(opts.Resume, costAt))
+	}
+	var checked, pruned atomic.Int64
+	var passes, maxBatch, memoHits atomic.Int64
+	var firstErr atomic.Value
+	var failed atomic.Bool
+	batchCap := opts.batchCap()
+	freshVerd := make([][]verdict, workers)
 
 	type incumbent struct {
 		mask  Mask

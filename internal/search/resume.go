@@ -166,21 +166,28 @@ func mergeMemo(old map[Mask]bool, fresh [][]verdict) map[Mask]bool {
 // visible set is a feasible hidden set), or +Inf when none apply. Used to
 // pre-charge the streaming path's shared best-cost bound: candidates
 // strictly above it can never beat the already-known feasible solution.
-func (s *Space) seedBound(f *Frontier) float64 {
+//
+// costOf MUST be the exact cost evaluation the resuming scan applies to its
+// own candidates (the subset-sum table below sortedMax, the bit loop above
+// it). Floating-point addition is not associative, so pricing the seed
+// through a different summation order can land one ulp above the scan's
+// price for the same mask — and "equal cost stays in play" then prunes the
+// known optimum itself, turning a feasible instance infeasible on resume.
+func (s *Space) seedBound(f *Frontier, costOf func(Mask) float64) float64 {
 	all := s.All()
 	best := math.Inf(1)
 	for _, v := range f.safe {
 		if v&^all != 0 {
 			continue
 		}
-		if c := s.CostOf(all &^ v); c < best {
+		if c := costOf(all &^ v); c < best {
 			best = c
 		}
 	}
 	if f.found && f.incumbent&^all == 0 {
 		// The incumbent's visible complement may have been dropped from a
 		// capped safe store; it is still a known-safe view.
-		if c := s.CostOf(f.incumbent); c < best {
+		if c := costOf(f.incumbent); c < best {
 			best = c
 		}
 	}

@@ -123,6 +123,51 @@ func TestResumeMatchesCold(t *testing.T) {
 	}
 }
 
+// TestResumeIrrationalCosts is the ulp-drift regression: with real-valued
+// costs, the streaming scan prices candidates from the subset-sum table
+// while the naive approach would price the seeded bound with the bit-loop
+// CostOf — two summation orders that can differ in the last ulp. Seeding
+// the bound one ulp below the scan's own price for the optimum pruned the
+// optimum itself, so a warm re-solve of an unchanged feasible instance
+// reported "no feasible solution". Resume must reproduce the cold result
+// exactly on such costs.
+func TestResumeIrrationalCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(10)
+		attrs := make([]string, k)
+		costs := make(map[string]float64, k)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%02d", i)
+			costs[attrs[i]] = rng.Float64() * 3
+		}
+		s := testSpace(t, attrs, costs)
+		oracle, _ := weightedOracle(s, rng)
+		cold, err := s.MinCost(oracle, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range []struct {
+			name string
+			f    func() (Result, error)
+		}{
+			{"dispatch", func() (Result, error) { return s.MinCost(oracle, Options{Resume: cold.Frontier}) }},
+			{"streaming", func() (Result, error) {
+				return s.minCostStreaming(oracle, Options{Resume: cold.Frontier}, new(atomic.Bool))
+			}},
+		} {
+			warm, err := run.f()
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, run.name, err)
+			}
+			if warm.Found != cold.Found || warm.Hidden != cold.Hidden || warm.Cost != cold.Cost {
+				t.Fatalf("trial %d %s: warm (found=%v hidden=%b cost=%.20g) != cold (found=%v hidden=%b cost=%.20g)",
+					trial, run.name, warm.Found, warm.Hidden, warm.Cost, cold.Found, cold.Hidden, cold.Cost)
+			}
+		}
+	}
+}
+
 // TestResumeMemoReplaysVerdicts pins the memo's effect: re-solving the SAME
 // instance warm answers nearly every candidate from the carried verdicts
 // and seeded stores. The only candidates that may still reach the oracle

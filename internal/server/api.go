@@ -137,11 +137,56 @@ type SolversResponse struct {
 
 // StatsResponse is the GET /v1/stats payload: shared-Session cache
 // effectiveness and occupancy (eviction observable via Evictions/Bytes),
-// plus the admission gauge.
+// the admission gauge, process lifetime, and — when the features are
+// configured — snapshot and shard-ring observability.
 type StatsResponse struct {
 	Session  solve.SessionStats `json:"session"`
 	InFlight int64              `json:"inFlight"`
 	Capacity int                `json:"capacity"`
+	// UptimeSeconds and StartTime (RFC 3339, UTC) date the process.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	StartTime     string  `json:"startTime"`
+	// Ready mirrors /readyz: false only while a boot restore is running.
+	Ready bool `json:"ready"`
+	// Snapshot is present when -snapshot-path is configured.
+	Snapshot *SnapshotStats `json:"snapshot,omitempty"`
+	// Ring is present in shard mode (-peers).
+	Ring *RingStats `json:"ring,omitempty"`
+}
+
+// SnapshotStats reports session snapshot/restore state.
+type SnapshotStats struct {
+	Path string `json:"path"`
+	// LastAgeSeconds is the age of the newest snapshot written by THIS
+	// process, or -1 when none has been written yet.
+	LastAgeSeconds float64 `json:"lastAgeSeconds"`
+	// LastBytes is that snapshot's size on disk.
+	LastBytes int64 `json:"lastBytes"`
+	// RestoredEntries counts cache entries loaded by the boot restore;
+	// RestoreHit is true when the boot restore found a usable snapshot.
+	RestoredEntries int64 `json:"restoredEntries"`
+	RestoreHit      bool  `json:"restoreHit"`
+}
+
+// RingStats reports shard-mode routing activity on this replica.
+type RingStats struct {
+	Self  string   `json:"self"`
+	Nodes []string `json:"nodes"`
+	// Proxied counts requests this replica relayed to their owner;
+	// Forwarded counts requests it served because a peer relayed them here;
+	// OwnedLocal counts routable requests it owned itself; Fallbacks counts
+	// owner transport failures absorbed by serving locally.
+	Proxied    int64 `json:"proxied"`
+	Forwarded  int64 `json:"forwarded"`
+	OwnedLocal int64 `json:"ownedLocal"`
+	Fallbacks  int64 `json:"fallbacks"`
+}
+
+// SnapshotResponse is the POST /v1/snapshot payload: where the snapshot
+// landed and how many bytes it holds.
+type SnapshotResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// stats assembles the GET /v1/stats payload.
+func (s *Server) stats() StatsResponse {
+	out := StatsResponse{
+		Session:       s.sess.Stats(),
+		InFlight:      s.inFlight.Load(),
+		Capacity:      s.cfg.MaxInFlight,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		StartTime:     s.start.UTC().Format(time.RFC3339),
+		Ready:         s.ready.Load(),
+	}
+	if s.cfg.SnapshotPath != "" {
+		ss := &SnapshotStats{
+			Path:            s.cfg.SnapshotPath,
+			LastAgeSeconds:  -1,
+			LastBytes:       s.lastSnapBytes.Load(),
+			RestoredEntries: s.restored.Load(),
+			RestoreHit:      s.restoreHit.Load(),
+		}
+		if ns := s.lastSnapNanos.Load(); ns > 0 {
+			ss.LastAgeSeconds = time.Since(time.Unix(0, ns)).Seconds()
+		}
+		out.Snapshot = ss
+	}
+	if s.ring != nil {
+		out.Ring = &RingStats{
+			Self:       s.ring.Self(),
+			Nodes:      s.ring.Nodes(),
+			Proxied:    s.proxied.Load(),
+			Forwarded:  s.forwarded.Load(),
+			OwnedLocal: s.ownedLocal.Load(),
+			Fallbacks:  s.fallbacks.Load(),
+		}
+	}
+	return out
+}
+
+// WriteSnapshot serializes the session to Config.SnapshotPath atomically
+// (temp file in the same directory, then rename) and returns the byte size.
+// Concurrent calls serialize; each writes a complete, self-consistent file.
+func (s *Server) WriteSnapshot() (int64, error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, fmt.Errorf("server: no snapshot path configured")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	dir := filepath.Dir(s.cfg.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, ".secureview-snap-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.sess.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+		return 0, err
+	}
+	s.lastSnapNanos.Store(time.Now().UnixNano())
+	s.lastSnapBytes.Store(info.Size())
+	return info.Size(), nil
+}
+
+// BootRestore loads Config.SnapshotPath into the session and flips the
+// server ready. Every failure path — missing file, unreadable file, corrupt
+// or version-bumped payload — degrades to an empty session and a log line;
+// a server must come up cold rather than crash-loop on a bad snapshot.
+func (s *Server) BootRestore(logf func(string, ...any)) {
+	defer s.ready.Store(true)
+	if s.cfg.SnapshotPath == "" {
+		return
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f, err := os.Open(s.cfg.SnapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		logf("snapshot: no file at %s, starting cold", s.cfg.SnapshotPath)
+		return
+	}
+	if err != nil {
+		logf("snapshot: open: %v (starting cold)", err)
+		return
+	}
+	defer f.Close()
+	n, err := s.sess.Restore(f)
+	if err != nil {
+		logf("snapshot: restore %s: %v (starting cold)", s.cfg.SnapshotPath, err)
+		return
+	}
+	s.restored.Store(int64(n))
+	s.restoreHit.Store(true)
+	logf("snapshot: restored %d entries from %s", n, s.cfg.SnapshotPath)
+}
+
+// Run serves on ln until a signal arrives on sigs, then shuts down
+// gracefully: stop accepting, drain in-flight requests (bounded by the
+// request deadline ceiling plus slack), write a final snapshot, and return
+// nil. The boot restore runs asynchronously so the listener is accepting —
+// and /healthz answering — immediately; /readyz gates traffic until the
+// restore settles. Periodic snapshots tick every Config.SnapshotEvery.
+func (s *Server) Run(ln net.Listener, sigs <-chan os.Signal, logf func(string, ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	go s.BootRestore(logf)
+
+	var tickC <-chan time.Time // nil: blocks forever when snapshots are off
+	if s.cfg.SnapshotPath != "" && s.cfg.SnapshotEvery > 0 {
+		tick := time.NewTicker(s.cfg.SnapshotEvery)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		case <-tickC:
+			if n, err := s.WriteSnapshot(); err != nil {
+				logf("snapshot: periodic write failed: %v", err)
+			} else {
+				logf("snapshot: wrote %d bytes to %s", n, s.cfg.SnapshotPath)
+			}
+		case sig := <-sigs:
+			logf("received %v: draining in-flight requests", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout+10*time.Second)
+			err := hs.Shutdown(ctx)
+			cancel()
+			if s.cfg.SnapshotPath != "" {
+				if n, werr := s.WriteSnapshot(); werr != nil {
+					logf("snapshot: final write failed: %v", werr)
+				} else {
+					logf("snapshot: wrote final %d bytes to %s", n, s.cfg.SnapshotPath)
+				}
+			}
+			return err
+		}
+	}
+}

@@ -51,6 +51,7 @@ import (
 
 	"secureview/internal/gen"
 	"secureview/internal/privacy"
+	"secureview/internal/ring"
 	"secureview/internal/secureview"
 	"secureview/internal/solve"
 )
@@ -77,6 +78,24 @@ type Config struct {
 	MaxBatchJobs int
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// SnapshotPath, when non-empty, enables session snapshot/restore: the
+	// server restores the file on boot (serving 503 from /readyz until the
+	// restore settles), rewrites it every SnapshotEvery and on shutdown, and
+	// accepts POST /v1/snapshot for on-demand writes. A missing, corrupt or
+	// version-bumped file restores to an empty session — logged, never fatal.
+	SnapshotPath string
+	// SnapshotEvery is the periodic snapshot interval when SnapshotPath is
+	// set (default 5m; <0 disables the ticker, leaving boot/shutdown/manual
+	// snapshots only).
+	SnapshotEvery time.Duration
+	// Self and Peers enable shard mode: Peers lists every replica's base URL
+	// (scheme://host:port, self included or not — it is deduplicated) and
+	// Self names this replica's own entry. Request fingerprints are routed
+	// over a consistent-hash ring; a replica that does not own a fingerprint
+	// proxies the request to the owner, so each cache entry lives (hot) on
+	// exactly one replica. Empty Peers is single-node mode.
+	Self  string
+	Peers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 5 * time.Minute
+	}
 	return c
 }
 
@@ -114,16 +136,67 @@ type Server struct {
 	sess     *solve.Session
 	sem      chan struct{}
 	inFlight atomic.Int64
+	start    time.Time
+
+	// ready flips once boot restore has settled (immediately when no
+	// snapshot path is configured); /readyz serves 503 until then.
+	ready atomic.Bool
+
+	// Snapshot bookkeeping: writes are serialized by snapMu; the atomics
+	// feed /v1/stats.
+	snapMu        sync.Mutex
+	lastSnapNanos atomic.Int64
+	lastSnapBytes atomic.Int64
+	restored      atomic.Int64
+	restoreHit    atomic.Bool
+
+	// Shard mode: nil ring means single-node. The proxy client carries
+	// forwarded solves to their owner; the counters feed /v1/stats.
+	ring       *ring.Ring
+	client     *http.Client
+	proxied    atomic.Int64
+	forwarded  atomic.Int64
+	fallbacks  atomic.Int64
+	ownedLocal atomic.Int64
 }
 
-// New builds a server with its own size-capped Session.
-func New(cfg Config) *Server {
+// New builds a server with its own size-capped Session. Shard mode
+// (Config.Peers) errors surface here because a malformed ring must refuse
+// to start, not quietly serve unsharded.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:  cfg,
-		sess: solve.NewSessionBytes(cfg.SessionBytes),
-		sem:  make(chan struct{}, cfg.MaxInFlight),
+	s := &Server{
+		cfg:   cfg,
+		sess:  solve.NewSessionBytes(cfg.SessionBytes),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
 	}
+	if len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			return nil, fmt.Errorf("server: -peers requires -self")
+		}
+		r, err := ring.New(cfg.Self, cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = r
+		s.client = &http.Client{Timeout: cfg.MaxTimeout + 10*time.Second}
+	}
+	// With no snapshot to restore the server is ready the moment it can
+	// accept connections.
+	if cfg.SnapshotPath == "" {
+		s.ready.Store(true)
+	}
+	return s, nil
+}
+
+// MustNew is New panicking on error, for tests and static configurations.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Session exposes the shared cache (stats, tests).
@@ -135,6 +208,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "restoring")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if s.cfg.SnapshotPath == "" {
+			writeError(w, http.StatusConflict, "no snapshot path configured (-snapshot-path)")
+			return
+		}
+		n, err := s.WriteSnapshot()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{Path: s.cfg.SnapshotPath, Bytes: n})
 	})
 	mux.HandleFunc("/v1/solvers", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -148,11 +246,7 @@ func (s *Server) Handler() http.Handler {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		writeJSON(w, http.StatusOK, StatsResponse{
-			Session:  s.sess.Stats(),
-			InFlight: s.inFlight.Load(),
-			Capacity: s.cfg.MaxInFlight,
-		})
+		writeJSON(w, http.StatusOK, s.stats())
 	})
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
@@ -224,6 +318,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
+	if owner, remote := s.routeRemote(r, &req); remote {
+		if s.proxySolve(w, owner, &req) {
+			return
+		}
+		// Transport failure to the owner: serve locally rather than fail the
+		// request — the cache entry is rebuildable, only its locality is lost.
+	}
 	release := s.admit(1)
 	if release == nil {
 		w.Header().Set("Retry-After", s.retryAfter(1))
@@ -289,6 +390,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		p      *secureview.Problem
 		code   int
 		errMsg string
+		// done carries a proxied job's finished result: in shard mode each
+		// job routes independently (one batch can span every owner), so
+		// non-owned jobs are forwarded as single solves from the resolution
+		// worker and skip the local pipeline entirely.
+		done *BatchResult
 	}
 	resolved := make([]resolvedJob, len(req.Jobs))
 	workers := weight
@@ -304,6 +410,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				jr := &req.Jobs[i]
+				if owner, remote := s.routeRemote(r, jr); remote {
+					if br, ok := s.proxyBatchJob(owner, jr); ok {
+						resolved[i] = resolvedJob{done: br}
+						continue
+					}
+					// Owner unreachable: resolve and solve locally below.
+				}
 				jctx, jcancel := context.WithTimeout(ctx, s.timeout(jr.TimeoutMs))
 				v, p, code, errMsg := s.resolve(jctx, jr)
 				jcancel()
@@ -318,6 +431,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	jobIdx := make([]int, 0, len(req.Jobs))
 	jobFps := make([]string, 0, len(req.Jobs))
 	for i, rj := range resolved {
+		if rj.done != nil {
+			out.Results[i] = *rj.done
+			continue
+		}
 		if rj.errMsg != "" {
 			out.Results[i] = BatchResult{Code: rj.code, Error: rj.errMsg}
 			continue

@@ -79,7 +79,7 @@ func decodeSolve(t *testing.T, raw []byte) server.SolveResponse {
 
 func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
 	t.Helper()
-	s := server.New(cfg)
+	s := server.MustNew(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
