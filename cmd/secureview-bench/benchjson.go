@@ -18,6 +18,7 @@ import (
 
 	"secureview/internal/exp"
 	"secureview/internal/gen"
+	"secureview/internal/gen/corpus"
 	"secureview/internal/oracle"
 	"secureview/internal/privacy"
 	"secureview/internal/search"
@@ -165,11 +166,87 @@ func collectBenchResults(quick bool, repsOverride int) ([]benchResult, error) {
 		return nil, err
 	}
 	results = append(results, scen...)
+	corp, err := corpusResults(quick, repsOverride)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, corp...)
 	mega, err := megaResults(quick)
 	if err != nil {
 		return nil, err
 	}
 	return append(results, mega...), nil
+}
+
+// corpusResults times the single-worker engine on the hardest committed
+// corpus entries (internal/gen/corpus) — the adversarially mined instances
+// that defeat the engine's pruning, exactly the rows where an engine
+// regression shows up amplified. Costs are pinned to the exact optimum and
+// the deterministic Checked counter must replay the committed value, so a
+// baseline row can never go stale silently. Rows are named by corpus ID;
+// the perf gate ignores rows absent from its baseline, so re-mining the
+// corpus does not invalidate old baselines.
+func corpusResults(quick bool, repsOverride int) ([]benchResult, error) {
+	reps, n := 3, 5
+	if quick {
+		reps, n = 1, 2
+	}
+	if repsOverride > 0 {
+		reps = repsOverride
+	}
+	var results []benchResult
+	for i, e := range corpus.Entries() {
+		if i >= n {
+			break
+		}
+		if e.Disagree {
+			continue
+		}
+		it, err := e.Instance()
+		if err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", e.ID, err)
+		}
+		p, err := it.Derive()
+		if err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", e.ID, err)
+		}
+		sopts := solve.Options{Variant: secureview.Set, NodeBudget: 1 << 22, MaxAttrs: 16, Workers: 1}
+		er, err := solve.Solve(context.Background(), "exact", p, sopts)
+		if err != nil {
+			return nil, fmt.Errorf("corpus %s exact: %w", e.ID, err)
+		}
+		best := time.Duration(1 << 62)
+		var res solve.Result
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			got, err := solve.Solve(context.Background(), "engine", p, sopts)
+			d := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("corpus %s engine: %w", e.ID, err)
+			}
+			if d < best {
+				best = d
+				res = got
+			}
+		}
+		if diff := res.Cost - er.Cost; diff > 1e-9*(1+er.Cost) || -diff > 1e-9*(1+er.Cost) {
+			return nil, fmt.Errorf("corpus %s: engine cost %g diverges from exact optimum %g", e.ID, res.Cost, er.Cost)
+		}
+		if res.Counters.Checked != e.Checked {
+			return nil, fmt.Errorf("corpus %s: engine checked %d, committed %d (generator or engine drifted; re-mine)",
+				e.ID, res.Counters.Checked, e.Checked)
+		}
+		results = append(results, benchResult{
+			Name: "corpus/" + e.ID + "/engine", K: e.K, Gamma: it.Gamma,
+			NsPerOp: best.Nanoseconds(), Cost: res.Cost,
+			Hidden:       res.Solution.Hidden.Sorted(),
+			Checked:      res.Counters.Checked,
+			Pruned:       res.Counters.Pruned,
+			OraclePasses: res.Counters.OraclePasses,
+			BatchSize:    res.Counters.BatchSize,
+		})
+	}
+	return results, nil
 }
 
 func writeBenchJSON(path string, quick bool) error {

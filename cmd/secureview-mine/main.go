@@ -1,0 +1,122 @@
+// Command secureview-mine runs the adversarial instance miner
+// (internal/gen/corpus): a deterministic hill-climb over gen.Config space
+// with objective = engine safety-test count, cross-checking every candidate
+// against the exact solver for cost disagreements. It prints the mined
+// candidates as JSON and can merge them into a committed corpus file.
+//
+// Usage:
+//
+//	secureview-mine -steps 60 -seed 1                 # print candidates
+//	secureview-mine -steps 60 -out internal/gen/corpus/corpus.json
+//	secureview-mine -steps 20 -merge internal/gen/corpus/corpus.json
+//
+// -out overwrites the file with this run's candidates; -merge unions them
+// with the file's existing entries (fingerprint-deduped, existing entries
+// win). -top keeps only the N hardest candidates, and -min-checked drops
+// easy ones; disagreement reproducers are always kept. The exit code is 0
+// on success, 1 when the run mined zero candidates, 2 on usage or I/O
+// errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"secureview/internal/gen/corpus"
+)
+
+func main() {
+	var (
+		steps      = flag.Int("steps", 40, "mutation steps per seed class")
+		seed       = flag.Int64("seed", 1, "mutation stream seed (same flags = same candidates)")
+		maxK       = flag.Int("maxk", 14, "cap on the derived problem's useful-attribute count")
+		perEval    = flag.Duration("per-eval", 10*time.Second, "per-candidate evaluation budget")
+		minChecked = flag.Int("min-checked", 0, "drop candidates with fewer engine safety tests")
+		top        = flag.Int("top", 0, "keep only the N hardest candidates (0 = all)")
+		out        = flag.String("out", "", "write candidates to this corpus file (overwrite)")
+		merge      = flag.String("merge", "", "merge candidates into this corpus file (existing entries win)")
+		timeout    = flag.Duration("timeout", 0, "overall mining deadline (0 = none)")
+	)
+	flag.Parse()
+	if *out != "" && *merge != "" {
+		fmt.Fprintln(os.Stderr, "secureview-mine: -out and -merge are mutually exclusive")
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	mined, err := corpus.Mine(ctx, corpus.MineOptions{
+		Steps:      *steps,
+		Seed:       *seed,
+		MaxK:       *maxK,
+		PerEval:    *perEval,
+		MinChecked: *minChecked,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secureview-mine: mining stopped early: %v\n", err)
+	}
+	if *top > 0 && len(mined) > *top {
+		var kept []corpus.Entry
+		for i, e := range mined {
+			if i < *top || e.Disagree {
+				kept = append(kept, e)
+			}
+		}
+		mined = kept
+	}
+	if len(mined) == 0 {
+		fmt.Fprintln(os.Stderr, "secureview-mine: no candidates mined")
+		os.Exit(1)
+	}
+
+	entries := mined
+	path := *out
+	if *merge != "" {
+		path = *merge
+		existing, err := readCorpus(*merge)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secureview-mine: %v\n", err)
+			os.Exit(2)
+		}
+		entries = corpus.Dedup(append(existing, mined...))
+	}
+
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secureview-mine: %v\n", err)
+		os.Exit(2)
+	}
+	raw = append(raw, '\n')
+	if path == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "secureview-mine: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("secureview-mine: wrote %d entries to %s (%d newly mined)\n", len(entries), path, len(mined))
+}
+
+func readCorpus(path string) ([]corpus.Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var entries []corpus.Entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return entries, nil
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"secureview/internal/gen"
+	_ "secureview/internal/gen/corpus" // register the corpus-ID resolver
 	"secureview/internal/privacy"
 	"secureview/internal/provenance"
 	"secureview/internal/search"
@@ -94,7 +95,7 @@ func main() {
 	var (
 		inPath      = flag.String("in", "", "instance JSON file (- for stdin)")
 		wfPath      = flag.String("wf", "", "workflow spec JSON file (see internal/spec); derives and solves")
-		genClass    = flag.String("gen", "", "solve a generated problem class instead of -in (see internal/gen; includes the mega-* classes)")
+		genClass    = flag.String("gen", "", "solve a generated class instead of -in: a problem class (incl. mega-*), a workflow topology class, or a corpus entry ID (optionally corpus:<id>)")
 		solver      = flag.String("solver", "exact", fmt.Sprintf("one of %v (internal/solve registry); -wf mode supports exact | greedy | lp", solve.Names()))
 		variant     = flag.String("variant", "set", "set | cardinality")
 		showDemo    = flag.Bool("demo", false, "print an example instance and exit")
@@ -126,10 +127,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "secureview: -in, -gen or -wf required (or -demo, -solvers)")
 		os.Exit(2)
 	}
+	var v secureview.Variant
+	switch *variant {
+	case "set":
+		v = secureview.Set
+	case "cardinality":
+		v = secureview.Cardinality
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
 	var p *secureview.Problem
 	if *genClass != "" {
 		var err error
-		if p, err = generatedProblem(*genClass, *seed); err != nil {
+		if p, err = generatedProblem(*genClass, *seed, v); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -150,15 +160,6 @@ func main() {
 		p = toProblem(in)
 	}
 
-	var v secureview.Variant
-	switch *variant {
-	case "set":
-		v = secureview.Set
-	case "cardinality":
-		v = secureview.Cardinality
-	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
-	}
 	if err := p.Validate(v); err != nil {
 		fatal(err)
 	}
@@ -305,20 +306,31 @@ func printSolvers() {
 	}
 }
 
-// generatedProblem resolves a class name from internal/gen's deterministic
-// catalogues — the scenario classes plus the mega-* approximation-regime
-// classes.
-func generatedProblem(name string, seed int64) (*secureview.Problem, error) {
-	for _, pc := range append(gen.ProblemClasses(), gen.MegaProblemClasses()...) {
-		if pc.Name == name {
-			return gen.Problem(pc.Cfg, seed), nil
+// generatedProblem resolves -gen through the canonical gen.InstanceRef
+// pipeline: abstract problem classes (including mega-*), workflow topology
+// classes (derived at the requested variant), and committed-corpus entries
+// — either "corpus:<id>" or a bare ID / unambiguous ID prefix.
+func generatedProblem(name string, seed int64, v secureview.Variant) (*secureview.Problem, error) {
+	ref := gen.InstanceRef{Class: name, Seed: seed}
+	if id, ok := strings.CutPrefix(name, "corpus:"); ok {
+		ref = gen.InstanceRef{Corpus: id}
+	}
+	rv, err := gen.Resolve(ref)
+	if err != nil && ref.Class != "" {
+		if cv, cerr := gen.Resolve(gen.InstanceRef{Corpus: name}); cerr == nil {
+			rv, err = cv, nil
 		}
 	}
-	var known []string
-	for _, pc := range append(gen.ProblemClasses(), gen.MegaProblemClasses()...) {
-		known = append(known, pc.Name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown generated class %q (have %v)", name, known)
+	if rv.Problem != nil {
+		return rv.Problem, nil
+	}
+	if v == secureview.Cardinality {
+		return rv.Instance.DeriveCard()
+	}
+	return rv.Instance.Derive()
 }
 
 func fatal(err error) {

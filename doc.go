@@ -76,13 +76,19 @@
 //	                     forward reductions ToSetCover/ToLabelCover with
 //	                     solution pull-back and LP/charging lower bounds —
 //	                     the engine of the certified approximation tier
-//	internal/workload    random workflow/instance generators
 //	internal/gen         deterministic seed-driven scenario generator:
 //	                     chain/tree/layered topologies, function kinds,
 //	                     cost models, abstract instances (including the
 //	                     mega-* classes with hundreds of modules that only
 //	                     the approximation tier can solve); byte-identical
-//	                     reproduction per (Config, seed)
+//	                     reproduction per (Config, seed); the canonical
+//	                     InstanceRef pipeline resolving class+seed, spec
+//	                     documents, provenance-CSV logs (partial-log
+//	                     semantics) and corpus IDs through one function
+//	internal/gen/corpus  committed hard-instance corpus (fingerprint-pinned
+//	                     configs the adversarial miner found to defeat the
+//	                     engine's pruning, replayed by CI) plus the
+//	                     deterministic hill-climb miner itself
 //	internal/gen/diff    cross-solver differential harness: exact ≡ BB ≡
 //	                     engine, greedy/LP feasibility + approximation
 //	                     bounds, compiled ≡ interpreted oracle, exhaustive
@@ -92,6 +98,7 @@
 // Entry points: cmd/secureview (solve instances), cmd/secureview-serve
 // (serve the solver layer over HTTP, optionally snapshotted and sharded),
 // cmd/secureview-load (drive a mixed workload against a running server),
+// cmd/secureview-mine (mine hard instances into the committed corpus),
 // cmd/secureview-bench (reproduce the experiment tables), cmd/worlds
 // (world counting), and the runnable programs under examples/. See
 // DESIGN.md and EXPERIMENTS.md.

@@ -21,7 +21,6 @@ import (
 	sv "secureview/internal/secureview"
 	"secureview/internal/spec"
 	"secureview/internal/workflow"
-	"secureview/internal/workload"
 	"secureview/internal/worlds"
 )
 
@@ -76,12 +75,15 @@ func TestEndToEndFig1AllSolvers(t *testing.T) {
 // derivation and the exact solver, then verifies every private module's
 // standalone guarantee on the published view.
 func TestEndToEndRandomWorkflows(t *testing.T) {
+	layered := gen.Config{Topology: gen.Layered, Layers: 2, Width: 2, FanIn: 2, FanOut: 1, Share: 2}
 	for seed := int64(0); seed < 8; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(seed))
-			w := workload.LayeredWorkflow("rand", 2, 2, 2, rng)
-			costs := workload.RandomCosts(w.Schema().Names(), 5, rng)
+			it, err := gen.New(layered, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, costs := it.W, it.Costs
 			p, err := sv.Derive(w, sv.DeriveOptions{Gamma: 2, Costs: costs, Parallel: true})
 			if err != nil {
 				t.Skipf("no safe subsets at Γ=2: %v", err)

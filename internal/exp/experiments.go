@@ -21,7 +21,6 @@ import (
 	"secureview/internal/secureview"
 	"secureview/internal/solve"
 	"secureview/internal/workflow"
-	"secureview/internal/workload"
 	"secureview/internal/worlds"
 )
 
@@ -716,13 +715,12 @@ func runE19(quick bool) []*Table {
 	if quick {
 		sizes = []int{10, 20}
 	}
-	rng := rand.New(rand.NewSource(19))
 	t := &Table{
 		Title:  "E19: solver scaling on random chain instances (set constraints, share ≤ 2)",
 		Header: []string{"n modules", "γ", "greedy cost", "greedy ms", "LP cost", "LP ms", "exact cost", "LP/greedy"},
 	}
 	for _, n := range sizes {
-		p := workload.RandomProblem(n, 2, rng)
+		p := gen.Problem(gen.ProblemConfig{Modules: n, MaxInputs: 2, Outputs: 1, Share: 2, Singletons: true}, 19+int64(n))
 		start := time.Now()
 		greedy := secureview.Greedy(p, secureview.Set)
 		gMS := float64(time.Since(start).Microseconds()) / 1000

@@ -1,0 +1,157 @@
+// Package corpus is the committed hard-instance corpus: generated
+// configurations that the adversarial miner (Mine, cmd/secureview-mine)
+// found to be measurably harder for the engine solver than every canonical
+// gen class at comparable size, plus any cross-solver disagreements it ever
+// surfaces (bug reproducers). Entries are fingerprint-deduped and fully
+// deterministic — each one is just a (gen.Config, seed) pair, so replaying
+// an entry regenerates the byte-identical instance on any machine.
+//
+// The corpus ships embedded in the binary (corpus.json). Importing this
+// package registers a resolver with internal/gen, after which
+// gen.InstanceRef{Corpus: id} resolves; the differential harness and CI
+// replay every entry on every run.
+package corpus
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"secureview/internal/gen"
+)
+
+//go:embed corpus.json
+var corpusJSON []byte
+
+// Entry is one committed instance: the generating configuration, its
+// canonical fingerprint, and the mining metrics that earned it a slot.
+type Entry struct {
+	// ID is the first 12 hex digits of Fingerprint — the stable name used
+	// in InstanceRefs, URLs and CLI flags.
+	ID string `json:"id"`
+	// Fingerprint is the full SHA-256 of the instance's canonical bytes;
+	// replays verify it so a generator change cannot silently swap the
+	// corpus out from under its hardness claims.
+	Fingerprint string     `json:"fingerprint"`
+	Cfg         gen.Config `json:"cfg"`
+	Seed        int64      `json:"seed"`
+	// Source records provenance: the seed class the climb started from.
+	Source string `json:"source"`
+	// Notes is free-form ("hardest chain descendant", "exact/engine cost
+	// disagreement", ...).
+	Notes string `json:"notes,omitempty"`
+	// Checked is the engine solver's deterministic single-worker
+	// safety-test count on the derived set-constraint problem — the
+	// machine-independent hardness objective the miner climbs.
+	Checked int `json:"checked"`
+	// K is the useful-attribute count of the derived set problem.
+	K int `json:"k"`
+	// Disagree marks entries that reproduced a cross-solver cost
+	// disagreement when mined. The diff harness must NOT reproduce the
+	// disagreement anymore once the underlying bug is fixed; the entry
+	// stays as a regression guard.
+	Disagree bool `json:"disagree,omitempty"`
+}
+
+// Instance regenerates the entry's instance and verifies its fingerprint.
+func (e Entry) Instance() (*gen.Instance, error) {
+	it, err := gen.New(e.Cfg, e.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: regenerating %s: %w", e.ID, err)
+	}
+	fp, err := it.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: fingerprinting %s: %w", e.ID, err)
+	}
+	if fp != e.Fingerprint {
+		return nil, fmt.Errorf("corpus: entry %s regenerated with fingerprint %s, want %s (generator changed; re-mine or drop the entry)",
+			e.ID, fp, e.Fingerprint)
+	}
+	return it, nil
+}
+
+var (
+	loadOnce sync.Once
+	loaded   []Entry
+	loadErr  error
+)
+
+// Entries returns the committed corpus sorted by descending Checked
+// (hardest first). The slice is shared; do not mutate.
+func Entries() []Entry {
+	loadOnce.Do(func() {
+		loadErr = json.Unmarshal(corpusJSON, &loaded)
+		if loadErr == nil {
+			sort.SliceStable(loaded, func(i, j int) bool { return loaded[i].Checked > loaded[j].Checked })
+		}
+	})
+	if loadErr != nil {
+		panic(fmt.Sprintf("corpus: embedded corpus.json is invalid: %v", loadErr))
+	}
+	return loaded
+}
+
+// Get resolves an entry by ID or unique ID prefix.
+func Get(id string) (Entry, error) {
+	if id == "" {
+		return Entry{}, fmt.Errorf("corpus: empty ID")
+	}
+	var hits []Entry
+	for _, e := range Entries() {
+		if e.ID == id {
+			return e, nil
+		}
+		if strings.HasPrefix(e.ID, id) {
+			hits = append(hits, e)
+		}
+	}
+	switch len(hits) {
+	case 1:
+		return hits[0], nil
+	case 0:
+		return Entry{}, fmt.Errorf("corpus: no entry %q (have %d entries; see IDs())", id, len(Entries()))
+	default:
+		var ids []string
+		for _, h := range hits {
+			ids = append(ids, h.ID)
+		}
+		return Entry{}, fmt.Errorf("corpus: ID prefix %q is ambiguous: %v", id, ids)
+	}
+}
+
+// IDs lists the corpus entry IDs, hardest first.
+func IDs() []string {
+	out := make([]string, 0, len(Entries()))
+	for _, e := range Entries() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Dedup drops entries sharing a fingerprint (first wins) — the invariant
+// the committed file maintains and the miner applies before writing.
+func Dedup(entries []Entry) []Entry {
+	seen := make(map[string]bool, len(entries))
+	out := entries[:0:0]
+	for _, e := range entries {
+		if seen[e.Fingerprint] {
+			continue
+		}
+		seen[e.Fingerprint] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+func init() {
+	gen.RegisterCorpusResolver(func(id string) (*gen.Instance, error) {
+		e, err := Get(id)
+		if err != nil {
+			return nil, err
+		}
+		return e.Instance()
+	})
+}

@@ -565,6 +565,51 @@ func CheckInstanceCtx(ctx context.Context, it *gen.Instance, opts Options) Resul
 	return r
 }
 
+// CheckRef resolves an instance reference (gen.Resolve) and runs the
+// harness on the result. It is CheckRefCtx without cancellation.
+//
+// The package does not import internal/gen/corpus; callers that pass
+// corpus-ID references must import it themselves (for its resolver
+// registration side effect).
+func CheckRef(ref gen.InstanceRef, opts Options) Result {
+	return CheckRefCtx(context.Background(), ref, opts)
+}
+
+// CheckRefCtx dispatches a resolved reference to the matching harness
+// entry point: abstract problem classes run the problem-level matrix;
+// recorded-log (CSV) instances derive under partial-log semantics and run
+// the problem-level matrix on the derived problem (session derivations do
+// not capture the recorded log, so the instance path would verify the
+// wrong requirements); every other workflow-backed source runs the full
+// instance harness. An unresolvable reference is a violation, not an
+// error — a corpus or fixture that no longer resolves must fail the run.
+func CheckRefCtx(ctx context.Context, ref gen.InstanceRef, opts Options) Result {
+	var r Result
+	rv, err := gen.Resolve(ref)
+	if err != nil {
+		r.Instances = 1
+		r.violatef("ref: %v", err)
+		return r
+	}
+	if rv.Problem != nil {
+		return CheckProblemCtx(ctx, rv.Name, rv.Problem, opts)
+	}
+	if rv.Instance.Recorded != nil {
+		p, derr := rv.Derive()
+		if derr != nil {
+			r.Instances = 1
+			if errors.Is(derr, secureview.ErrInfeasible) || cancelled(derr) {
+				r.Skips++
+				return r
+			}
+			r.violatef("%s: derivation failed with a non-infeasibility error: %v", rv.Name, derr)
+			return r
+		}
+		return CheckProblemCtx(ctx, rv.Name, p, opts)
+	}
+	return CheckInstanceCtx(ctx, rv.Instance, opts)
+}
+
 // checkStandalone compares, for every private module of the instance, the
 // naive 2^k loop, the pruned engine and the compiled-oracle engine on the
 // standalone min-cost safe subset, and the compiled vs interpreted oracle

@@ -8,13 +8,17 @@
 // Every generator is a pure function of (Config, seed): the same seed
 // reproduces a byte-identical instance (see CanonicalBytes) across runs and
 // GOMAXPROCS settings, because generation is single-goroutine and never
-// iterates Go maps while drawing random choices. The package generalizes
-// internal/workload (layered shape, random instances), which remains only
-// because E19 and older tests are pinned to its rand streams. The canonical topology
+// iterates Go maps while drawing random choices. The canonical topology
 // classes used by the E22/E23 scenario experiments, the differential
 // harness (internal/gen/diff), the fuzz seeds and the scenario benchmarks
 // all come from Classes and ProblemClasses, so every consumer exercises the
 // same slice of the instance space.
+//
+// Beyond (Config, seed) generation, InstanceRef names an instance from ANY
+// source — generated class+seed, spec document, provenance CSV, or corpus
+// ID — and Resolve turns any of them into a solvable instance. The server,
+// the load generator, the bench sweeps and cmd/secureview all resolve
+// through it, so every layer accepts every instance source uniformly.
 package gen
 
 import (
@@ -42,8 +46,8 @@ const (
 	Tree
 	// Layered builds Layers×Width modules; each module draws FanIn inputs
 	// from the previous layer's outputs, sharing attributes up to Share
-	// consumers (the workload.LayeredWorkflow shape, with fan-out, domain
-	// and sharing knobs).
+	// consumers. This is the averaged-experiment shape (layered DAGs of
+	// random boolean modules), with fan-out, domain and sharing knobs.
 	Layered
 )
 
@@ -215,6 +219,11 @@ type Instance struct {
 	// PrivatizeCosts assigns c(m) to every public module of W.
 	PrivatizeCosts map[string]float64
 	Gamma          uint64
+	// Recorded, when non-nil, restricts derivation to this provenance log
+	// (partial-log semantics): requirement lists come from each module's
+	// projection of the recorded executions instead of its full input
+	// domain. Set by CSV-imported InstanceRefs; nil for generated sources.
+	Recorded *relation.Relation
 }
 
 // New generates the instance for (cfg, seed). Identical arguments always
@@ -500,6 +509,7 @@ func (it *Instance) Derive() (*secureview.Problem, error) {
 		Gamma:          it.Gamma,
 		Costs:          it.Costs,
 		PrivatizeCosts: it.PrivatizeCosts,
+		Recorded:       it.Recorded,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"testing/quick"
 
 	"secureview/internal/secureview"
 )
@@ -192,6 +193,36 @@ func TestDeriveFromGenerated(t *testing.T) {
 				t.Fatalf("class %s: no seed derived a feasible instance", cl.Name)
 			}
 		})
+	}
+}
+
+// TestQuickSingletonProblemSolvable ports the legacy workload property onto
+// the folded generator: random singleton-requirement instances validate in
+// both variants, every solver is feasible, and exact ≤ greedy.
+func TestQuickSingletonProblemSolvable(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := ProblemConfig{
+			Modules:    2 + int(uint64(seed)%5),
+			MaxInputs:  1 + int(uint64(seed)%3),
+			Share:      2,
+			Singletons: true,
+		}
+		p := Problem(cfg, seed)
+		if p.Validate(secureview.Set) != nil || p.Validate(secureview.Cardinality) != nil {
+			return false
+		}
+		exact, err := secureview.ExactSet(p, 1<<20)
+		if err != nil || !p.Feasible(exact, secureview.Set) {
+			return false
+		}
+		greedy := secureview.Greedy(p, secureview.Set)
+		if !p.Feasible(greedy, secureview.Set) {
+			return false
+		}
+		return p.Cost(exact) <= p.Cost(greedy)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
 	}
 }
 

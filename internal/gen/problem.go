@@ -29,6 +29,14 @@ type ProblemConfig struct {
 	PublicFrac float64
 	// MaxCost scales the uniform random costs in [1, MaxCost] (default 5).
 	MaxCost float64
+	// Singletons switches the requirement lists to the legacy
+	// workload.RandomProblem shape: each private module offers "hide my
+	// output(s)" or "hide any ONE input" (set variant: one singleton option
+	// per input; cardinality variant: α=1 ∨ β=1). The default shape instead
+	// demands ALL inputs or ALL outputs, which is strictly harder per
+	// module; singleton instances have many more near-ties, which is what
+	// E19's greedy-vs-LP scaling sweep measures.
+	Singletons bool
 }
 
 func (c ProblemConfig) withDefaults() ProblemConfig {
@@ -114,6 +122,13 @@ func Problem(cfg ProblemConfig, seed int64) *secureview.Problem {
 		if public {
 			spec.Public = true
 			spec.PrivatizeCost = 1 + rng.Float64()*(cfg.MaxCost-1)
+		} else if cfg.Singletons {
+			anyPrivate = true
+			spec.SetList = []secureview.SetReq{{Out: append([]string(nil), out...)}}
+			for _, a := range in {
+				spec.SetList = append(spec.SetList, secureview.SetReq{In: []string{a}})
+			}
+			spec.CardList = []secureview.CardReq{{Alpha: 1}, {Beta: 1}}
 		} else {
 			anyPrivate = true
 			spec.SetList = []secureview.SetReq{
@@ -150,6 +165,7 @@ func ProblemClasses() []ProblemClass {
 		{"shared", ProblemConfig{Modules: 5, MaxInputs: 2, Outputs: 1, Share: 3}},
 		{"wide", ProblemConfig{Modules: 4, MaxInputs: 3, Outputs: 2, Share: 2}},
 		{"public-mix", ProblemConfig{Modules: 6, MaxInputs: 2, Outputs: 1, Share: 2, PublicFrac: 0.3}},
+		{"singleton", ProblemConfig{Modules: 6, MaxInputs: 2, Outputs: 1, Share: 2, Singletons: true}},
 	}
 }
 

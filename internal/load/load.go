@@ -2,10 +2,11 @@
 // instance and reports what a capacity plan needs: latency percentiles,
 // throughput, and how the server sheds (429) or fails (5xx) under pressure.
 //
-// The workload mixes the three request shapes the server optimizes for:
+// The workload mixes the request shapes the server optimizes for:
 //
 //   - single solves of generated (class, seed) scenarios — the cache-miss
-//     and cache-hit steady state;
+//     and cache-hit steady state — with a slice of committed-corpus IDs
+//     mixed in (hard instances under cheap certified solvers);
 //   - batches of generated jobs — the admission-weight path;
 //   - edit chains over a spec document — cost-only edits chaining each
 //     response's fingerprint into the next request's base, the warm-start
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"secureview/internal/gen"
+	"secureview/internal/gen/corpus"
 )
 
 // Config parameterizes a run. BaseURL is required; zero values elsewhere
@@ -99,6 +101,7 @@ type worker struct {
 	client  *http.Client
 	rng     *rand.Rand
 	classes []string
+	corpus  []string
 
 	// Edit-chain state: current costs and the last response's fingerprint.
 	costs [4]float64
@@ -139,6 +142,7 @@ func Run(cfg Config) (*Report, error) {
 	for _, c := range gen.Classes() {
 		classes = append(classes, c.Name)
 	}
+	corpusIDs := corpus.IDs()
 
 	workers := make([]*worker, cfg.Workers)
 	deadline := time.Now().Add(cfg.Duration)
@@ -146,7 +150,7 @@ func Run(cfg Config) (*Report, error) {
 	var wg sync.WaitGroup
 	for i := range workers {
 		w := &worker{
-			cfg: cfg, client: client, classes: classes,
+			cfg: cfg, client: client, classes: classes, corpus: corpusIDs,
 			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
 			costs: [4]float64{1, 2, 3, 4},
 		}
@@ -205,18 +209,27 @@ func (w *worker) step() {
 }
 
 // generatedJob draws a (class, seed) solve over the cheap certified
-// solvers. A small seed range keeps the server's cache in steady state
-// (mostly hits) rather than deriving a fresh instance per request.
+// solvers, with roughly one request in four naming a committed-corpus
+// entry instead — mined hard instances exercise the derivation cache with
+// workflows no (class, seed) request produces. A small seed range keeps
+// the server's cache in steady state (mostly hits) rather than deriving a
+// fresh instance per request.
 func (w *worker) generatedJob() json.RawMessage {
 	solvers := [...]string{"greedy", "portfolio", "exact"}
-	body, _ := json.Marshal(map[string]any{
-		"generated": map[string]any{
-			"class": w.classes[w.rng.Intn(len(w.classes))],
-			"seed":  w.rng.Intn(3),
-		},
+	job := map[string]any{
 		"solver":  solvers[w.rng.Intn(len(solvers))],
 		"variant": "set",
-	})
+	}
+	if n := len(w.corpus); n > 0 && w.rng.Intn(4) == 0 {
+		job["corpus"] = w.corpus[w.rng.Intn(n)]
+		job["solver"] = "greedy" // corpus entries are hard by construction
+	} else {
+		job["generated"] = map[string]any{
+			"class": w.classes[w.rng.Intn(len(w.classes))],
+			"seed":  w.rng.Intn(3),
+		}
+	}
+	body, _ := json.Marshal(job)
 	return body
 }
 

@@ -16,10 +16,19 @@ type Costs map[string]float64
 // Of returns the cost of one attribute.
 func (c Costs) Of(name string) float64 { return c[name] }
 
-// Sum returns the total cost of a hidden set.
+// Sum returns the total cost of a hidden set. The summation runs over the
+// set's names in sorted order so the float64 result is bit-identical across
+// runs: map iteration order would otherwise reorder the additions, and float
+// addition is not associative, which used to leave heuristic solvers off by
+// an ulp between identical requests.
 func (c Costs) Sum(hidden relation.NameSet) float64 {
-	total := 0.0
+	names := make([]string, 0, len(hidden))
 	for n := range hidden {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	total := 0.0
+	for _, n := range names {
 		total += c[n]
 	}
 	return total

@@ -3,13 +3,15 @@ package server
 import (
 	"fmt"
 
+	"secureview/internal/gen"
 	"secureview/internal/secureview"
 	"secureview/internal/solve"
 	"secureview/internal/spec"
 )
 
-// SolveRequest is the wire shape of one solve job. Exactly one of Spec and
-// Generated names the instance:
+// SolveRequest is the wire shape of one solve job. Exactly one of Spec,
+// Generated, CSV and Corpus names the instance — the four forms of the
+// canonical gen.InstanceRef pipeline:
 //
 //   - Spec is an internal/spec workflow document (modules with truth tables
 //     or built-in kinds, costs, Γ); the server derives the Secure-View
@@ -19,9 +21,17 @@ import (
 //     space: workflow topology classes (gen.Classes) derive like specs;
 //     abstract instance classes (gen.ProblemClasses and the mega-scale
 //     gen.MegaProblemClasses) are generated directly.
+//   - CSV pairs a spec document with a recorded provenance log; the
+//     requirement lists derive from the recorded projection (partial-log
+//     semantics), so only the set variant is servable and the derivation
+//     bypasses the shared Session (its cache keys ignore recorded logs).
+//   - Corpus names a committed hard-instance corpus entry by ID or
+//     unambiguous ID prefix (internal/gen/corpus).
 type SolveRequest struct {
 	Spec      *spec.Document `json:"spec,omitempty"`
 	Generated *GeneratedRef  `json:"generated,omitempty"`
+	CSV       *gen.CSVRef    `json:"csv,omitempty"`
+	Corpus    string         `json:"corpus,omitempty"`
 	// Solver is the internal/solve registry key (see GET /v1/solvers).
 	Solver string `json:"solver"`
 	// Variant is "set" (default) or "cardinality".
@@ -212,6 +222,18 @@ func variantName(v secureview.Variant) string {
 		return "cardinality"
 	}
 	return "set"
+}
+
+// instanceRef lowers the request's instance source onto the canonical
+// gen.InstanceRef. The "exactly one source" validation happens inside
+// gen.Resolve, so every consumer of the pipeline rejects ambiguous
+// references with the same message.
+func (r *SolveRequest) instanceRef() gen.InstanceRef {
+	ref := gen.InstanceRef{Spec: r.Spec, CSV: r.CSV, Corpus: r.Corpus, Gamma: r.Gamma}
+	if r.Generated != nil {
+		ref.Class, ref.Seed = r.Generated.Class, r.Generated.Seed
+	}
+	return ref
 }
 
 // solveOptions lowers the wire options onto solve.Options.

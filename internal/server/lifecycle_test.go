@@ -114,8 +114,9 @@ func TestSnapshotRestoreOverHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, raw)
 	}
-	// Cost within the last ulp: greedy re-sums map-ordered costs per run.
-	if genOut := decodeSolve(t, raw); genOut.Cost-genFirst.Cost > 1e-9 || genFirst.Cost-genOut.Cost > 1e-9 ||
+	// Costs.Sum adds in sorted-key order, so repeated solves of the same
+	// instance are bit-identical — exact equality, no ulp slack.
+	if genOut := decodeSolve(t, raw); genOut.Cost != genFirst.Cost ||
 		strings.Join(genOut.Hidden, ",") != strings.Join(genFirst.Hidden, ",") {
 		t.Fatalf("restored generated answer diverged: %+v vs %+v", genOut, genFirst)
 	}
@@ -244,13 +245,13 @@ func TestShardRingServing(t *testing.T) {
 				want = got
 				continue
 			}
-			// Solution and fingerprint must be identical; the cost is allowed
-			// the last ulp because heuristic solvers re-sum map-ordered costs
-			// per request even on the same cached problem.
+			// Solution, fingerprint, and cost must all be identical: Costs.Sum
+			// adds in sorted-key order, so every replica computes the same
+			// float64 bit pattern for the same cached problem.
 			if strings.Join(got.Hidden, ",") != strings.Join(want.Hidden, ",") ||
 				strings.Join(got.Privatized, ",") != strings.Join(want.Privatized, ",") ||
 				got.Fingerprint != want.Fingerprint || got.Status != want.Status ||
-				got.Cost-want.Cost > 1e-9 || want.Cost-got.Cost > 1e-9 {
+				got.Cost != want.Cost {
 				t.Fatalf("req %d: replica %d answered differently:\n%+v\nvs\n%+v", ri, si, got, want)
 			}
 		}

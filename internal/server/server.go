@@ -50,7 +50,7 @@ import (
 	"time"
 
 	"secureview/internal/gen"
-	"secureview/internal/privacy"
+	_ "secureview/internal/gen/corpus" // register the corpus-ID resolver
 	"secureview/internal/ring"
 	"secureview/internal/secureview"
 	"secureview/internal/solve"
@@ -501,9 +501,12 @@ func (s *Server) runJob(ctx context.Context, req *SolveRequest, d time.Duration)
 	return code, resp, errMsg
 }
 
-// resolve materializes the request's problem: a spec document or a
-// generated (class, seed) reference, derived through the shared Session
-// when a workflow is involved.
+// resolve materializes the request's problem through the canonical
+// gen.InstanceRef pipeline (spec document, generated class, provenance
+// CSV, corpus ID). Workflow-backed instances derive through the shared
+// Session — except CSV-backed ones, whose requirement lists depend on the
+// recorded log that Session cache keys do not capture, so they derive
+// directly (set variant only; DeriveCardProblem has no partial-log form).
 func (s *Server) resolve(ctx context.Context, req *SolveRequest) (secureview.Variant, *secureview.Problem, int, string) {
 	v, err := parseVariant(req.Variant)
 	if err != nil {
@@ -514,16 +517,24 @@ func (s *Server) resolve(ctx context.Context, req *SolveRequest) (secureview.Var
 		return 0, nil, http.StatusBadRequest,
 			fmt.Sprintf("unknown solver %q (have %v)", req.Solver, solve.Names())
 	}
-	if (req.Spec == nil) == (req.Generated == nil) {
-		return 0, nil, http.StatusBadRequest, "exactly one of spec and generated must be set"
-	}
 
 	var p *secureview.Problem
+	rv, err := gen.Resolve(req.instanceRef())
 	switch {
-	case req.Spec != nil:
-		p, err = s.resolveSpec(ctx, req, v)
+	case err != nil:
+	case rv.Problem != nil:
+		// Abstract instances carry their requirement lists directly; Γ and
+		// the Session do not apply.
+		p = rv.Problem
+	case rv.Instance.Recorded != nil:
+		if v == secureview.Cardinality {
+			return 0, nil, http.StatusBadRequest,
+				"csv instances derive from the recorded log (partial-log semantics); only the set variant is servable"
+		}
+		p, err = rv.Instance.Derive()
 	default:
-		p, err = s.resolveGenerated(ctx, req, v)
+		it := rv.Instance
+		p, err = s.sess.Problem(ctx, it.W, v, it.Gamma, it.Costs, it.PrivatizeCosts)
 	}
 	switch {
 	case err == nil:
@@ -538,72 +549,6 @@ func (s *Server) resolve(ctx context.Context, req *SolveRequest) (secureview.Var
 		return 0, nil, http.StatusBadRequest, err.Error()
 	}
 	return v, p, http.StatusOK, ""
-}
-
-func (s *Server) resolveSpec(ctx context.Context, req *SolveRequest, v secureview.Variant) (*secureview.Problem, error) {
-	doc := req.Spec
-	if len(doc.GammaPerModule) > 0 {
-		return nil, fmt.Errorf("gammaPerModule documents are not servable (one Γ per request)")
-	}
-	w, err := doc.Build()
-	if err != nil {
-		return nil, err
-	}
-	gamma := req.Gamma
-	if gamma == 0 {
-		gamma = doc.Gamma
-	}
-	if gamma == 0 {
-		gamma = 2
-	}
-	costs := privacy.Costs(doc.Costs)
-	if len(costs) == 0 {
-		costs = privacy.Uniform(w.Schema().Names()...)
-	}
-	return s.sess.Problem(ctx, w, v, gamma, costs, doc.PrivatizeCosts)
-}
-
-func (s *Server) resolveGenerated(ctx context.Context, req *SolveRequest, v secureview.Variant) (*secureview.Problem, error) {
-	ref := req.Generated
-	for _, c := range gen.Classes() {
-		if c.Name != ref.Class {
-			continue
-		}
-		cfg := c.Cfg
-		if req.Gamma > 0 {
-			cfg.Gamma = req.Gamma
-		}
-		it, err := gen.New(cfg, ref.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return s.sess.Problem(ctx, it.W, v, it.Gamma, it.Costs, it.PrivatizeCosts)
-	}
-	for _, c := range append(gen.ProblemClasses(), gen.MegaProblemClasses()...) {
-		if c.Name == ref.Class {
-			// Abstract instances carry their requirement lists directly;
-			// Γ and the Session do not apply.
-			return gen.Problem(c.Cfg, ref.Seed), nil
-		}
-	}
-	return nil, fmt.Errorf("unknown generated class %q (workflow classes: %v; problem classes: %v)",
-		ref.Class, classNames(), problemClassNames())
-}
-
-func classNames() []string {
-	var out []string
-	for _, c := range gen.Classes() {
-		out = append(out, c.Name)
-	}
-	return out
-}
-
-func problemClassNames() []string {
-	var out []string
-	for _, c := range append(gen.ProblemClasses(), gen.MegaProblemClasses()...) {
-		out = append(out, c.Name)
-	}
-	return out
 }
 
 // mapOutcome turns a solve result into (HTTP status, response, error):
